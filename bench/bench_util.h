@@ -1,0 +1,80 @@
+#ifndef IOLAP_BENCH_BENCH_UTIL_H_
+#define IOLAP_BENCH_BENCH_UTIL_H_
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "alloc/allocator.h"
+#include "common/stopwatch.h"
+#include "datagen/generator.h"
+#include "datagen/table2.h"
+#include "examples/example_util.h"
+#include "storage/storage_env.h"
+
+namespace iolap {
+
+/// The two dataset families of Section 11: "automotive-like" (no ALL
+/// values, Table 2 composition) and the ALL-allowed synthetic variant that
+/// produces a giant connected component.
+inline DatasetSpec AutomotiveLikeSpec(int64_t facts, uint64_t seed = 1) {
+  DatasetSpec spec;
+  spec.num_facts = facts;
+  spec.allow_all = false;
+  spec.seed = seed;
+  return spec;
+}
+
+inline DatasetSpec AllSyntheticSpec(int64_t facts, uint64_t seed = 2) {
+  DatasetSpec spec;
+  spec.num_facts = facts;
+  spec.allow_all = true;
+  spec.all_fraction = 0.08;
+  spec.seed = seed;
+  return spec;
+}
+
+/// Runs one full allocation and returns the result; everything (dataset
+/// generation included) happens in a fresh StorageEnv so runs are
+/// independent.
+inline AllocationResult RunOnce(const StarSchema& schema,
+                                const DatasetSpec& spec, int64_t buffer_pages,
+                                AlgorithmKind algorithm, double epsilon,
+                                const char* tag) {
+  StorageEnv env(MakeWorkDir(tag), buffer_pages);
+  TypedFile<FactRecord> facts = Unwrap(GenerateFacts(env, schema, spec));
+  AllocationOptions options;
+  options.algorithm = algorithm;
+  options.epsilon = epsilon;
+  return Unwrap(Allocator::Run(env, schema, &facts, options));
+}
+
+/// Estimated on-disk size, in pages, of the prepared working set (C plus
+/// the imprecise summary tables) for a dataset of the given composition —
+/// used to pick buffer sizes as fractions of the data, mirroring the
+/// paper's 600 KB..12 MB sweep against a 32 MB table.
+inline int64_t EstimateDataPages(int64_t facts, double imprecise_fraction) {
+  const int64_t cells =
+      static_cast<int64_t>(facts * (1 - imprecise_fraction));
+  const int64_t imprecise = static_cast<int64_t>(facts * imprecise_fraction);
+  return cells / TypedFile<CellRecord>::kRecordsPerPage +
+         imprecise / TypedFile<ImpreciseRecord>::kRecordsPerPage + 2;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n==== %s ====\n", title);
+}
+
+inline void PrintRunRow(const char* algo, double epsilon, int64_t buffer_pages,
+                        const AllocationResult& r) {
+  std::printf(
+      "%-12s eps=%-7g buf=%-6" PRId64 " iters=%-3d |S|/W=%-3d "
+      "alloc_io=%-9" PRId64 " alloc_s=%-8.3f emit_s=%-7.3f total_s=%.3f\n",
+      algo, epsilon, buffer_pages, r.iterations,
+      r.chain_width > 0 ? r.chain_width : r.num_groups, r.alloc_io.total(),
+      r.alloc_seconds, r.emit_seconds, r.total_seconds());
+}
+
+}  // namespace iolap
+
+#endif  // IOLAP_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,86 @@
+// A realistic scenario: warranty-repair analysis over imprecise records.
+//
+// A manufacturer records repairs against the four dimensions of the paper's
+// Table 2 (service area, brand, time, location). A third of the records are
+// imprecise ("somewhere in the Northeast", "some week this quarter"). This
+// example generates such a dataset, builds the Extended Database with each
+// external algorithm, and compares their cost; then it answers rollup
+// queries that would be unanswerable (or badly biased) without allocation.
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+
+#include "alloc/allocator.h"
+#include "datagen/generator.h"
+#include "datagen/table2.h"
+#include "edb/query.h"
+#include "examples/example_util.h"
+
+using namespace iolap;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const int64_t num_facts = flags.GetInt("facts", 100'000);
+  const int64_t buffer_pages = flags.GetInt("buffer_pages", 2048);
+  const double epsilon = flags.GetDouble("epsilon", 0.005);
+
+  StarSchema schema = Unwrap(MakeAutomotiveSchema());
+  DatasetSpec spec;
+  spec.num_facts = num_facts;
+  spec.seed = flags.GetInt("seed", 42);
+
+  std::printf("Repairs dataset: %" PRId64 " facts, %.0f%% imprecise, "
+              "buffer %" PRId64 " pages\n\n",
+              num_facts, spec.imprecise_fraction * 100, buffer_pages);
+
+  std::printf("%-12s %5s %6s %10s %10s %9s %12s\n", "algorithm", "iters",
+              "groups", "alloc I/Os", "alloc sec", "emit sec", "components");
+  AllocationResult last;
+  StorageEnv* query_env = nullptr;
+  // The Transitive run's environment must outlive the loop: its EDB backs
+  // the queries below.
+  auto transitive_env = std::make_unique<StorageEnv>(
+      MakeWorkDir("auto_transitive"), buffer_pages);
+  for (AlgorithmKind algo : {AlgorithmKind::kIndependent, AlgorithmKind::kBlock,
+                             AlgorithmKind::kTransitive}) {
+    StorageEnv local(MakeWorkDir("auto"), buffer_pages);
+    StorageEnv& env =
+        algo == AlgorithmKind::kTransitive ? *transitive_env : local;
+    TypedFile<FactRecord> facts = Unwrap(GenerateFacts(env, schema, spec));
+    AllocationOptions options;
+    options.algorithm = algo;
+    options.epsilon = epsilon;
+    AllocationResult result =
+        Unwrap(Allocator::Run(env, schema, &facts, options));
+    std::printf("%-12s %5d %6d %10" PRId64 " %10.2f %9.2f %12" PRId64 "\n",
+                AlgorithmName(algo), result.iterations,
+                algo == AlgorithmKind::kIndependent ? result.chain_width
+                                                    : result.num_groups,
+                result.alloc_io.total(), result.alloc_seconds,
+                result.emit_seconds, result.components.num_components);
+    if (algo == AlgorithmKind::kTransitive) {
+      last = result;
+      query_env = &env;
+    }
+  }
+
+  // Rollup queries against the Transitive run's EDB.
+  std::printf("\n== Repairs per region (allocation-weighted) ==\n");
+  QueryEngine engine(query_env, &schema, &last.edb);
+  const Hierarchy& location = schema.dim(3);
+  double grand_total = 0;
+  for (NodeId region : location.nodes_at_level(3)) {
+    QueryRegion q = QueryRegion::All().With(3, region);
+    AggregateResult count =
+        Unwrap(engine.Aggregate(q, AggregateFunc::kCount));
+    AggregateResult cost = Unwrap(engine.Aggregate(q, AggregateFunc::kSum));
+    std::printf("  %-14s  repairs %10.1f   cost %12.1f\n",
+                location.name(region).c_str(), count.value, cost.value);
+    grand_total += count.value;
+  }
+  std::printf("  %-14s  repairs %10.1f   (= allocatable facts; weights sum "
+              "to 1 per fact)\n",
+              "TOTAL", grand_total);
+  return 0;
+}

@@ -1,0 +1,81 @@
+#ifndef IOLAP_EXAMPLES_EXAMPLE_UTIL_H_
+#define IOLAP_EXAMPLES_EXAMPLE_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/status.h"
+
+namespace iolap {
+
+/// Minimal --key=value flag reader shared by the examples and benches.
+class Flags {
+ public:
+  Flags(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  int64_t GetInt(const std::string& name, int64_t fallback) const {
+    std::string value;
+    if (!Lookup(name, &value)) return fallback;
+    return std::strtoll(value.c_str(), nullptr, 10);
+  }
+
+  double GetDouble(const std::string& name, double fallback) const {
+    std::string value;
+    if (!Lookup(name, &value)) return fallback;
+    return std::strtod(value.c_str(), nullptr);
+  }
+
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const {
+    std::string value;
+    if (!Lookup(name, &value)) return fallback;
+    return value;
+  }
+
+ private:
+  bool Lookup(const std::string& name, std::string* out) const {
+    std::string prefix = "--" + name + "=";
+    for (int i = 1; i < argc_; ++i) {
+      if (std::strncmp(argv_[i], prefix.c_str(), prefix.size()) == 0) {
+        *out = argv_[i] + prefix.size();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  int argc_;
+  char** argv_;
+};
+
+/// Creates a unique scratch directory under TMPDIR (or /tmp).
+inline std::string MakeWorkDir(const char* tag) {
+  const char* base = std::getenv("TMPDIR");
+  std::string tmpl = std::string(base != nullptr ? base : "/tmp") + "/iolap_" +
+                     tag + "_XXXXXX";
+  char* dir = ::mkdtemp(tmpl.data());
+  if (dir == nullptr) {
+    std::fprintf(stderr, "failed to create work dir\n");
+    std::exit(1);
+  }
+  return tmpl;
+}
+
+inline void DieOnError(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Unwrap(Result<T> result) {
+  DieOnError(result.status());
+  return std::move(result).value();
+}
+
+}  // namespace iolap
+
+#endif  // IOLAP_EXAMPLES_EXAMPLE_UTIL_H_

@@ -1,0 +1,89 @@
+// Comparing allocation policies (Section 3.2's template instantiations).
+//
+// The same imprecise fact can be allocated very differently depending on
+// the assumed correlation structure: Uniform spreads it evenly over its
+// possible completions, EM-Count follows where the *data* is dense, and
+// EM-Measure follows where the *measure mass* is. This example runs all
+// three on the paper's Table 1 and on a skewed synthetic dataset, and shows
+// how the same query's answer moves.
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+#include "alloc/allocator.h"
+#include "datagen/generator.h"
+#include "datagen/table2.h"
+#include "edb/query.h"
+#include "examples/example_util.h"
+
+using namespace iolap;
+
+namespace {
+
+void RunPaperExample(PolicyKind policy) {
+  StorageEnv env(MakeWorkDir("policy"), 256);
+  StarSchema schema = Unwrap(MakePaperExampleSchema());
+  TypedFile<FactRecord> facts = Unwrap(MakePaperExampleFacts(env, schema));
+  AllocationOptions options;
+  options.policy = policy;
+  options.epsilon = 1e-8;
+  options.max_iterations = 200;
+  AllocationResult result =
+      Unwrap(Allocator::Run(env, schema, &facts, options));
+
+  // Where does p11 = (ALL, Civic, 80) go? Its completions in C are
+  // (MA, Civic) and (CA, Civic).
+  std::printf("%-11s: p11 (ALL, Civic) ->", PolicyName(policy));
+  auto cursor = result.edb.Scan(env.pool());
+  EdbRecord rec;
+  std::map<std::string, double> weights;
+  while (!cursor.done()) {
+    DieOnError(cursor.Next(&rec));
+    if (rec.fact_id != 11) continue;
+    std::string cell =
+        schema.dim(0).name(schema.dim(0).leaf_node(rec.leaf[0]));
+    weights[cell] += rec.weight;
+  }
+  for (const auto& [cell, w] : weights) {
+    std::printf("  %s: %.4f", cell.c_str(), w);
+  }
+  std::printf("   (%d iterations)\n", result.iterations);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+
+  std::printf("== Paper example: allocation of p11 under each policy ==\n");
+  std::printf("(MA holds 2 precise facts of mass 250; CA holds 2 of mass "
+              "225)\n");
+  for (PolicyKind policy :
+       {PolicyKind::kUniform, PolicyKind::kCount, PolicyKind::kMeasure}) {
+    RunPaperExample(policy);
+  }
+
+  std::printf("\n== Convergence cost vs epsilon (EM-Count, synthetic) ==\n");
+  StarSchema schema = Unwrap(MakeAutomotiveSchema());
+  DatasetSpec spec;
+  spec.num_facts = flags.GetInt("facts", 30'000);
+  spec.allow_all = true;
+  spec.seed = 3;
+  std::printf("%10s %12s %12s\n", "epsilon", "iterations", "final_eps");
+  for (double eps : {0.1, 0.05, 0.01, 0.005, 0.001}) {
+    StorageEnv env(MakeWorkDir("policy_eps"), 4096);
+    TypedFile<FactRecord> facts = Unwrap(GenerateFacts(env, schema, spec));
+    AllocationOptions options;
+    options.algorithm = AlgorithmKind::kBlock;
+    options.epsilon = eps;
+    AllocationResult result =
+        Unwrap(Allocator::Run(env, schema, &facts, options));
+    std::printf("%10g %12d %12.2g\n", eps, result.iterations,
+                result.final_eps);
+  }
+  std::printf("\nSmaller epsilon -> more EM iterations -> more scans for "
+              "Block/Independent; Transitive's component-local convergence "
+              "sidesteps most of that (see bench_fig5*).\n");
+  return 0;
+}

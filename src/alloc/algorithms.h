@@ -1,0 +1,76 @@
+#ifndef IOLAP_ALLOC_ALGORITHMS_H_
+#define IOLAP_ALLOC_ALGORITHMS_H_
+
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "alloc/dataset.h"
+#include "alloc/pass.h"
+#include "alloc/policy.h"
+#include "common/status.h"
+#include "model/schema.h"
+#include "storage/storage_env.h"
+
+namespace iolap {
+
+/// Per-component metadata kept by the Transitive algorithm. Besides the
+/// census it powers the EDB maintenance algorithm of Section 9: segments of
+/// the component-sorted files plus the region bounding box for the R-tree.
+struct ComponentInfo {
+  int32_t ccid = -1;
+  int64_t cell_begin = 0, cell_end = 0;
+  int64_t entry_begin = 0, entry_end = 0;
+  int64_t edb_begin = 0, edb_end = 0;  // imprecise EDB rows of the component
+  int32_t bbox_lo[kMaxDims] = {};
+  int32_t bbox_hi[kMaxDims] = {};  // inclusive leaf bounds
+
+  int64_t tuples() const {
+    return (cell_end - cell_begin) + (entry_end - entry_begin);
+  }
+};
+
+/// Algorithm 1 (in-memory reference): loads C and all imprecise facts into
+/// memory and evaluates the equations directly.
+Status RunBasic(StorageEnv& env, const StarSchema& schema,
+                PreparedDataset* data, const AllocationOptions& options,
+                AllocationResult* result);
+
+/// Algorithm 3: chain decomposition of the summary-table partial order;
+/// per iteration each chain re-sorts C (and its tables) into the chain's
+/// sort order and runs the two passes with one-record cursors.
+Status RunIndependent(StorageEnv& env, const StarSchema& schema,
+                      PreparedDataset* data, const AllocationOptions& options,
+                      AllocationResult* result);
+
+/// Algorithm 4: one fixed (canonical) sort order; summary tables grouped by
+/// bin-packing their partition sizes into the buffer; per iteration each
+/// group scans C once per pass with sliding windows.
+Status RunBlock(StorageEnv& env, const StarSchema& schema,
+                PreparedDataset* data, const AllocationOptions& options,
+                AllocationResult* result);
+
+/// Algorithm 5: identifies connected components of the allocation graph,
+/// sorts all tuples into component order, then converges each component
+/// independently (in memory when it fits, external Block otherwise).
+/// `directory`, if non-null, receives per-component metadata (sorted by
+/// component id) for the maintenance layer.
+Status RunTransitive(StorageEnv& env, const StarSchema& schema,
+                     PreparedDataset* data, const AllocationOptions& options,
+                     AllocationResult* result,
+                     std::vector<ComponentInfo>* directory);
+
+/// Shared emission: canonical-order Γ-recompute + emit passes over the
+/// given summary-table groups, appending to the EDB.
+Status EmitExternal(StorageEnv& env, const StarSchema& schema,
+                    PreparedDataset* data,
+                    const std::vector<std::vector<TableSegment>>& groups,
+                    AllocationResult* result);
+
+/// Builds Block's summary-table groups by first-fit-decreasing packing of
+/// partition sizes (in pages) into the buffer budget.
+std::vector<std::vector<TableSegment>> PackTableGroups(
+    const PreparedDataset& data, int64_t buffer_pages);
+
+}  // namespace iolap
+
+#endif  // IOLAP_ALLOC_ALGORITHMS_H_

@@ -1,0 +1,43 @@
+#include "alloc/algorithms.h"
+#include "alloc/in_memory.h"
+
+namespace iolap {
+
+Status RunBasic(StorageEnv& env, const StarSchema& schema,
+                PreparedDataset* data, const AllocationOptions& options,
+                AllocationResult* result) {
+  BufferPool& pool = env.pool();
+
+  std::vector<CellRecord> cells;
+  cells.reserve(data->cells.size());
+  {
+    auto cur = data->cells.Scan(pool);
+    CellRecord c;
+    while (!cur.done()) {
+      IOLAP_RETURN_IF_ERROR(cur.Next(&c));
+      cells.push_back(c);
+    }
+  }
+  std::vector<ImpreciseRecord> entries;
+  entries.reserve(data->num_imprecise_facts);
+  for (const SummaryTableInfo& table : data->tables) {
+    auto cur = data->imprecise.Scan(pool, table.begin, table.end);
+    ImpreciseRecord e;
+    while (!cur.done()) {
+      IOLAP_RETURN_IF_ERROR(cur.Next(&e));
+      entries.push_back(e);
+    }
+  }
+
+  MemoryAllocator ma(&schema, std::move(cells), std::move(entries));
+  result->iterations = ma.Iterate(options.epsilon,
+                                  options.EffectiveMaxIterations(),
+                                  /*force_all_iterations=*/false);
+  auto appender = result->edb.MakeAppender(pool);
+  IOLAP_RETURN_IF_ERROR(ma.Emit(&appender, &result->edges_emitted,
+                                &result->unallocatable_facts));
+  appender.Close();
+  return Status::Ok();
+}
+
+}  // namespace iolap

@@ -1,0 +1,68 @@
+#ifndef IOLAP_ALLOC_ESTIMATOR_H_
+#define IOLAP_ALLOC_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "alloc/policy.h"
+#include "common/result.h"
+#include "model/records.h"
+#include "model/schema.h"
+#include "storage/paged_file.h"
+#include "storage/storage_env.h"
+
+namespace iolap {
+
+/// Options for the sampling estimator.
+struct EstimateOptions {
+  int64_t sample_size = 20'000;
+  double epsilon = 0.005;
+  int max_iterations = 100;
+  PolicyKind policy = PolicyKind::kCount;
+  uint64_t seed = 42;
+  /// The largest component is declared "giant" (supercritical) when its
+  /// size grows with the sample size at least this fast (exponent of the
+  /// two-point growth fit; ~0 = local components, ~1 = giant).
+  double giant_exponent_threshold = 0.6;
+};
+
+/// Sample-based estimates for the two quantities the paper's Section 12
+/// names as future work: the number of EM iterations a given ε will need,
+/// and the size of the largest connected component (which decides whether
+/// Transitive can keep everything in memory).
+struct AllocationEstimate {
+  int64_t sampled_facts = 0;
+  double sample_rate = 0;
+
+  /// Iterations the sample needed — EM convergence speed is governed by
+  /// the local overlap structure, which sampling preserves, so this is
+  /// used directly as the prediction.
+  int estimated_iterations = 0;
+
+  int64_t sample_components = 0;
+  int64_t sample_largest_component = 0;  // in tuples (cells + facts)
+  double largest_fraction = 0;           // of sampled tuples
+
+  /// How fast the largest component grew between a half-sample and the
+  /// full sample (log2 ratio): ~0 for local components, ~1 for a giant one.
+  double growth_exponent = 0;
+
+  /// True if the growth fit shows a supercritical (giant) component. Then
+  /// `estimated_largest_component` extrapolates the growth law up to the
+  /// full dataset. Otherwise components are local and the sampled value is
+  /// only a lower bound (sampling thins edges), which is flagged here.
+  bool giant_component = false;
+  int64_t estimated_largest_component = 0;
+  bool largest_is_lower_bound = false;
+};
+
+/// Scans `facts` once (reservoir sampling), allocates the sample in memory,
+/// and extrapolates. Costs one read pass over the fact table plus
+/// O(sample) memory/CPU — cheap enough to run before committing to an
+/// algorithm and buffer size.
+Result<AllocationEstimate> EstimateAllocation(
+    StorageEnv& env, const StarSchema& schema,
+    const TypedFile<FactRecord>& facts, const EstimateOptions& options);
+
+}  // namespace iolap
+
+#endif  // IOLAP_ALLOC_ESTIMATOR_H_

@@ -1,0 +1,143 @@
+#include "alloc/in_memory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "model/sort_key.h"
+
+namespace iolap {
+
+MemoryAllocator::MemoryAllocator(const StarSchema* schema,
+                                 std::vector<CellRecord> cells,
+                                 std::vector<ImpreciseRecord> entries)
+    : schema_(schema), cells_(std::move(cells)), entries_(std::move(entries)) {
+  BuildEdges();
+}
+
+void MemoryAllocator::BuildEdges() {
+  edges_.assign(entries_.size(), {});
+  if (cells_.empty() || entries_.empty()) return;
+
+  SpecComparator cmp(schema_, SortSpec::Canonical(*schema_));
+  // The sweep below needs cells in canonical order; callers (Transitive
+  // components are sorted, but maintenance hands in merged segment lists
+  // and freshly created cells) may not guarantee it.
+  std::sort(cells_.begin(), cells_.end(),
+            [&](const CellRecord& a, const CellRecord& b) {
+              return cmp.CellLess(a, b);
+            });
+  // Process entries in region-start order against the sorted cells; a
+  // window of "open" entries bounds the work per cell.
+  std::vector<int32_t> order(entries_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+    return cmp.EntryLess(entries_[a], entries_[b]);
+  });
+
+  std::vector<int32_t> open;
+  size_t next = 0;
+  for (size_t ci = 0; ci < cells_.size(); ++ci) {
+    const CellRecord& cell = cells_[ci];
+    open.erase(std::remove_if(open.begin(), open.end(),
+                              [&](int32_t e) {
+                                return cmp.CompareRegionEndToCell(
+                                           entries_[e], cell) < 0;
+                              }),
+               open.end());
+    while (next < order.size() &&
+           cmp.CompareRegionStartToCell(entries_[order[next]], cell) <= 0) {
+      open.push_back(order[next]);
+      ++next;
+    }
+    for (int32_t e : open) {
+      if (RegionCovers(*schema_, entries_[e].node, cell.leaf)) {
+        edges_[e].push_back(static_cast<int32_t>(ci));
+        ++num_edges_;
+      }
+    }
+  }
+}
+
+int MemoryAllocator::Iterate(double epsilon, int max_iterations,
+                             bool force_all_iterations) {
+  std::vector<double> delta_cur(cells_.size());
+  int iterations = 0;
+  for (int t = 1; t <= max_iterations; ++t) {
+    // E-step: Γ(t)(r) from Δ(t-1).
+    for (size_t e = 0; e < entries_.size(); ++e) {
+      double gamma = 0;
+      for (int32_t c : edges_[e]) gamma += cells_[c].delta_prev;
+      entries_[e].gamma = gamma;
+    }
+    // M-step: Δ(t)(c) = δ(c) + Σ_r Δ(t-1)(c)/Γ(t)(r).
+    for (size_t c = 0; c < cells_.size(); ++c) delta_cur[c] = cells_[c].delta0;
+    for (size_t e = 0; e < entries_.size(); ++e) {
+      if (entries_[e].gamma <= 0) continue;
+      for (int32_t c : edges_[e]) {
+        delta_cur[c] += cells_[c].delta_prev / entries_[e].gamma;
+      }
+    }
+    double max_eps = 0;
+    for (size_t c = 0; c < cells_.size(); ++c) {
+      double prev = cells_[c].delta_prev;
+      double eps = prev != 0 ? std::fabs(delta_cur[c] - prev) / std::fabs(prev)
+                             : (delta_cur[c] == 0 ? 0.0 : 1.0);
+      max_eps = std::max(max_eps, eps);
+      cells_[c].delta_prev = delta_cur[c];
+      cells_[c].delta_cur = delta_cur[c];
+    }
+    ++iterations;
+    if (!force_all_iterations && max_eps < epsilon) break;
+  }
+  return iterations;
+}
+
+Status MemoryAllocator::Emit(typename TypedFile<EdbRecord>::Appender* out,
+                             int64_t* edges_emitted, int64_t* unallocatable) {
+  for (size_t e = 0; e < entries_.size(); ++e) {
+    double gamma = 0;
+    for (int32_t c : edges_[e]) gamma += cells_[c].delta_prev;
+    entries_[e].gamma = gamma;
+    entries_[e].num_cells = static_cast<int32_t>(edges_[e].size());
+    if (gamma <= 0) {
+      ++*unallocatable;
+      continue;
+    }
+    for (int32_t c : edges_[e]) {
+      if (cells_[c].delta_prev <= 0) continue;  // Definition 4: p_{c,r} > 0
+      EdbRecord edb;
+      edb.fact_id = entries_[e].fact_id;
+      edb.measure = entries_[e].measure;
+      edb.weight = cells_[c].delta_prev / gamma;
+      std::memcpy(edb.leaf, cells_[c].leaf, sizeof(edb.leaf));
+      IOLAP_RETURN_IF_ERROR(out->Append(edb));
+      ++*edges_emitted;
+    }
+  }
+  return Status::Ok();
+}
+
+void MemoryAllocator::EmitToVector(std::vector<EdbRecord>* out,
+                                   int64_t* unallocatable) {
+  for (size_t e = 0; e < entries_.size(); ++e) {
+    double gamma = 0;
+    for (int32_t c : edges_[e]) gamma += cells_[c].delta_prev;
+    entries_[e].gamma = gamma;
+    if (gamma <= 0) {
+      ++*unallocatable;
+      continue;
+    }
+    for (int32_t c : edges_[e]) {
+      if (cells_[c].delta_prev <= 0) continue;  // Definition 4: p_{c,r} > 0
+      EdbRecord edb;
+      edb.fact_id = entries_[e].fact_id;
+      edb.measure = entries_[e].measure;
+      edb.weight = cells_[c].delta_prev / gamma;
+      std::memcpy(edb.leaf, cells_[c].leaf, sizeof(edb.leaf));
+      out->push_back(edb);
+    }
+  }
+}
+
+}  // namespace iolap

@@ -1,0 +1,60 @@
+#ifndef IOLAP_ALLOC_IN_MEMORY_H_
+#define IOLAP_ALLOC_IN_MEMORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc/policy.h"
+#include "common/result.h"
+#include "model/records.h"
+#include "model/schema.h"
+#include "storage/paged_file.h"
+
+namespace iolap {
+
+/// In-memory evaluation of the allocation equations over one (sub)graph —
+/// the Basic Algorithm (Algorithm 1), also reused by Transitive for every
+/// connected component that fits in the buffer.
+class MemoryAllocator {
+ public:
+  /// `cells` must be sorted in canonical order. `entries` may come from any
+  /// mix of summary tables; they are indexed against the cells once.
+  MemoryAllocator(const StarSchema* schema, std::vector<CellRecord> cells,
+                  std::vector<ImpreciseRecord> entries);
+
+  /// Runs EM iterations until the per-cell relative change drops below
+  /// `epsilon` everywhere, or `max_iterations` is reached. With
+  /// `force_all_iterations` the convergence test is ignored (the
+  /// no-early-convergence ablation). Returns the iterations executed.
+  int Iterate(double epsilon, int max_iterations, bool force_all_iterations);
+
+  /// Appends one EDB row per (entry, covered cell) with p = Δ(c)/Γ(r),
+  /// where Γ is recomputed from the final Δ so weights sum to exactly 1.
+  /// Entries overlapping no cell are counted as unallocatable.
+  Status Emit(typename TypedFile<EdbRecord>::Appender* out,
+              int64_t* edges_emitted, int64_t* unallocatable);
+
+  /// Same as Emit but into an in-memory vector (used by the maintenance
+  /// layer, which splices rows into existing EDB ranges).
+  void EmitToVector(std::vector<EdbRecord>* out, int64_t* unallocatable);
+
+  const std::vector<CellRecord>& cells() const { return cells_; }
+  const std::vector<ImpreciseRecord>& entries() const { return entries_; }
+  int64_t num_edges() const { return num_edges_; }
+  /// edges()[e] lists the indexes of the cells entry `e` overlaps.
+  const std::vector<std::vector<int32_t>>& edges() const { return edges_; }
+
+ private:
+  void BuildEdges();
+
+  const StarSchema* schema_;
+  std::vector<CellRecord> cells_;
+  std::vector<ImpreciseRecord> entries_;
+  // edges_[e] = indexes into cells_ covered by entries_[e].
+  std::vector<std::vector<int32_t>> edges_;
+  int64_t num_edges_ = 0;
+};
+
+}  // namespace iolap
+
+#endif  // IOLAP_ALLOC_IN_MEMORY_H_

@@ -1,0 +1,28 @@
+#ifndef IOLAP_ALLOC_PREPROCESS_H_
+#define IOLAP_ALLOC_PREPROCESS_H_
+
+#include "alloc/dataset.h"
+#include "alloc/policy.h"
+#include "common/result.h"
+#include "model/records.h"
+#include "model/schema.h"
+#include "storage/storage_env.h"
+
+namespace iolap {
+
+/// The preprocessing step common to all allocation algorithms (Section 4.1):
+/// sorts `facts` into summary-table order, materializes the cell summary
+/// table C (δ(c) seeded per policy, canonical sort order, fence keys per
+/// page) and the page-aligned imprecise summary tables, emits the EDB rows
+/// of the precise facts, and computes per-table partition sizes
+/// (Definition 9) from conservative first/last bounds.
+///
+/// `facts` is sorted in place and may be discarded afterwards.
+Result<PreparedDataset> PrepareDataset(StorageEnv& env,
+                                       const StarSchema& schema,
+                                       TypedFile<FactRecord>* facts,
+                                       const AllocationOptions& options);
+
+}  // namespace iolap
+
+#endif  // IOLAP_ALLOC_PREPROCESS_H_

@@ -1,0 +1,280 @@
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "alloc/algorithms.h"
+#include "alloc/in_memory.h"
+#include "graph/bin_packing.h"
+#include "graph/union_find.h"
+#include "model/sort_key.h"
+#include "storage/external_sort.h"
+
+namespace iolap {
+
+namespace {
+
+constexpr int32_t kNoComponent = std::numeric_limits<int32_t>::max();
+
+int32_t CanonOf(const std::vector<int32_t>& canon, int32_t ccid) {
+  return ccid < 0 ? kNoComponent : canon[ccid];
+}
+
+/// Accumulates a leaf-space bounding box.
+struct Bbox {
+  int32_t lo[kMaxDims];
+  int32_t hi[kMaxDims];
+  bool empty = true;
+
+  void AddCell(const int32_t* leaf, int k) {
+    for (int d = 0; d < k; ++d) {
+      if (empty || leaf[d] < lo[d]) lo[d] = leaf[d];
+      if (empty || leaf[d] > hi[d]) hi[d] = leaf[d];
+    }
+    empty = false;
+  }
+  void AddRegion(const StarSchema& schema, const int32_t* node, int k) {
+    for (int d = 0; d < k; ++d) {
+      int32_t b = schema.dim(d).leaf_begin(node[d]);
+      int32_t e = schema.dim(d).leaf_end(node[d]) - 1;
+      if (empty || b < lo[d]) lo[d] = b;
+      if (empty || e > hi[d]) hi[d] = e;
+    }
+    empty = false;
+  }
+};
+
+}  // namespace
+
+Status RunTransitive(StorageEnv& env, const StarSchema& schema,
+                     PreparedDataset* data, const AllocationOptions& options,
+                     AllocationResult* result,
+                     std::vector<ComponentInfo>* directory) {
+  const int k = schema.num_dims();
+  BufferPool& pool = env.pool();
+  SpecComparator canonical(&schema, SortSpec::Canonical(schema));
+
+  // ---- Step 1: assign ccids with one Block-style pass per group.
+  auto groups = PackTableGroups(*data, env.buffer_pages());
+  result->num_groups = static_cast<int>(groups.size());
+  UnionFind uf(0);
+  {
+    PassEngine engine(&pool, &schema, &data->cells, &data->imprecise,
+                      &canonical);
+    for (const auto& group : groups) {
+      IOLAP_RETURN_IF_ERROR(engine.RunCcid(group, &uf));
+    }
+    result->peak_window_records =
+        std::max(result->peak_window_records, engine.peak_window_records());
+  }
+
+  // Collapse the ccidMap to canonical ("true") component ids.
+  std::vector<int32_t> canon(uf.size());
+  for (int32_t i = 0; i < uf.size(); ++i) canon[i] = uf.Canonical(i);
+
+  // ---- Step 2: sort all tuples into component order.
+  {
+    ExternalSorter<CellRecord> cell_sorter(&env.disk(), &pool,
+                                           env.buffer_pages());
+    IOLAP_RETURN_IF_ERROR(cell_sorter.Sort(
+        &data->cells, [&](const CellRecord& a, const CellRecord& b) {
+          int32_t ca = CanonOf(canon, a.ccid), cb = CanonOf(canon, b.ccid);
+          if (ca != cb) return ca < cb;
+          return canonical.CellLess(a, b);
+        }));
+    ExternalSorter<ImpreciseRecord> entry_sorter(&env.disk(), &pool,
+                                                 env.buffer_pages());
+    IOLAP_RETURN_IF_ERROR(entry_sorter.Sort(
+        &data->imprecise,
+        [&](const ImpreciseRecord& a, const ImpreciseRecord& b) {
+          int32_t ca = CanonOf(canon, a.ccid), cb = CanonOf(canon, b.ccid);
+          if (ca != cb) return ca < cb;
+          if (a.table != b.table) return a.table < b.table;
+          return canonical.EntryLess(a, b);
+        }));
+  }
+
+  // ---- Step 3a: one streaming scan building the component directory.
+  std::vector<ComponentInfo> local_directory;
+  std::vector<ComponentInfo>& dir =
+      directory != nullptr ? *directory : local_directory;
+  dir.clear();
+  {
+    auto cc = data->cells.Scan(pool);
+    auto ec = data->imprecise.Scan(pool);
+    CellRecord cell;
+    ImpreciseRecord entry;
+    bool have_cell = !cc.done(), have_entry = !ec.done();
+    int64_t cell_index = 0, entry_index = 0;
+    if (have_cell) IOLAP_RETURN_IF_ERROR(cc.Next(&cell));
+    if (have_entry) IOLAP_RETURN_IF_ERROR(ec.Next(&entry));
+
+    while (have_cell || have_entry) {
+      int32_t ckey = have_cell ? CanonOf(canon, cell.ccid) : kNoComponent;
+      int32_t ekey = have_entry ? CanonOf(canon, entry.ccid) : kNoComponent;
+      int32_t id = std::min(ckey, ekey);
+      if (id == kNoComponent) {
+        // Tail: cells in no component (precise-only singletons), real
+        // entries that overlap no cell, and page-padding sentinels.
+        while (have_cell) {
+          ++result->components.num_singleton_cells;
+          ++cell_index;
+          have_cell = !cc.done();
+          if (have_cell) IOLAP_RETURN_IF_ERROR(cc.Next(&cell));
+        }
+        while (have_entry) {
+          if (entry.fact_id >= 0) ++result->unallocatable_facts;
+          ++entry_index;
+          have_entry = !ec.done();
+          if (have_entry) IOLAP_RETURN_IF_ERROR(ec.Next(&entry));
+        }
+        break;
+      }
+      ComponentInfo info;
+      info.ccid = id;
+      info.cell_begin = cell_index;
+      info.entry_begin = entry_index;
+      Bbox bbox;
+      while (have_cell && CanonOf(canon, cell.ccid) == id) {
+        bbox.AddCell(cell.leaf, k);
+        ++cell_index;
+        have_cell = !cc.done();
+        if (have_cell) IOLAP_RETURN_IF_ERROR(cc.Next(&cell));
+      }
+      while (have_entry && CanonOf(canon, entry.ccid) == id) {
+        bbox.AddRegion(schema, entry.node, k);
+        ++entry_index;
+        have_entry = !ec.done();
+        if (have_entry) IOLAP_RETURN_IF_ERROR(ec.Next(&entry));
+      }
+      info.cell_end = cell_index;
+      info.entry_end = entry_index;
+      std::memcpy(info.bbox_lo, bbox.lo, sizeof(info.bbox_lo));
+      std::memcpy(info.bbox_hi, bbox.hi, sizeof(info.bbox_hi));
+      dir.push_back(info);
+    }
+  }
+
+  // ---- Step 3b: process each component to convergence and emit.
+  const int64_t cell_rpp = TypedFile<CellRecord>::kRecordsPerPage;
+  const int64_t imp_rpp = TypedFile<ImpreciseRecord>::kRecordsPerPage;
+  const int64_t budget_records_limit =
+      std::max<int64_t>(1, env.buffer_pages() - 2);
+  auto appender = result->edb.MakeAppender(pool);
+  const int max_iterations = options.EffectiveMaxIterations();
+
+  for (ComponentInfo& info : dir) {
+    info.edb_begin = result->edb.size();
+    const int64_t pages =
+        (info.cell_end - info.cell_begin + cell_rpp - 1) / cell_rpp +
+        (info.entry_end - info.entry_begin + imp_rpp - 1) / imp_rpp;
+    result->components.largest_component =
+        std::max(result->components.largest_component, info.tuples());
+    ++result->components.num_components;
+
+    int iterations = 0;
+    if (pages <= budget_records_limit) {
+      // Small component: read into memory, run Basic to convergence.
+      std::vector<CellRecord> cells;
+      cells.reserve(info.cell_end - info.cell_begin);
+      {
+        auto cur = data->cells.Scan(pool, info.cell_begin, info.cell_end);
+        CellRecord c;
+        while (!cur.done()) {
+          IOLAP_RETURN_IF_ERROR(cur.Next(&c));
+          cells.push_back(c);
+        }
+      }
+      std::vector<ImpreciseRecord> entries;
+      entries.reserve(info.entry_end - info.entry_begin);
+      {
+        auto cur =
+            data->imprecise.Scan(pool, info.entry_begin, info.entry_end);
+        ImpreciseRecord e;
+        while (!cur.done()) {
+          IOLAP_RETURN_IF_ERROR(cur.Next(&e));
+          entries.push_back(e);
+        }
+      }
+      MemoryAllocator ma(&schema, std::move(cells), std::move(entries));
+      iterations = ma.Iterate(options.epsilon, max_iterations,
+                              /*force_all_iterations=*/
+                              !options.early_convergence &&
+                                  options.policy != PolicyKind::kUniform);
+      IOLAP_RETURN_IF_ERROR(ma.Emit(&appender, &result->edges_emitted,
+                                    &result->unallocatable_facts));
+    } else {
+      // Large component: external Block over the component's segments.
+      ++result->components.num_large_components;
+      result->components.large_component_pages += pages;
+
+      // Discover the per-table subsegments (entries are sorted by table
+      // within the component).
+      std::vector<TableSegment> segments;
+      {
+        auto cur =
+            data->imprecise.Scan(pool, info.entry_begin, info.entry_end);
+        ImpreciseRecord e;
+        int64_t index = info.entry_begin;
+        while (!cur.done()) {
+          IOLAP_RETURN_IF_ERROR(cur.Next(&e));
+          if (segments.empty() || segments.back().table != e.table) {
+            if (!segments.empty()) segments.back().end = index;
+            segments.push_back(TableSegment{index, index, e.table});
+          }
+          ++index;
+        }
+        if (!segments.empty()) segments.back().end = index;
+      }
+      std::vector<int64_t> sizes;
+      for (const TableSegment& seg : segments) {
+        sizes.push_back(data->tables[seg.table].partition_pages);
+      }
+      PackingResult packed = FirstFitDecreasing(
+          sizes, std::max<int64_t>(1, env.buffer_pages() - 4));
+      std::vector<std::vector<TableSegment>> comp_groups(packed.num_bins);
+      for (size_t i = 0; i < segments.size(); ++i) {
+        comp_groups[packed.bin_of[i]].push_back(segments[i]);
+      }
+
+      PassEngine engine(&pool, &schema, &data->cells, &data->imprecise,
+                        &canonical);
+      engine.SetCellRange(info.cell_begin, info.cell_end);
+      for (int t = 1; t <= max_iterations; ++t) {
+        for (const auto& g : comp_groups) {
+          IOLAP_RETURN_IF_ERROR(engine.RunGamma(g));
+        }
+        double max_eps = 0;
+        for (size_t g = 0; g < comp_groups.size(); ++g) {
+          IOLAP_RETURN_IF_ERROR(
+              engine.RunDelta(comp_groups[g], g == 0,
+                              g + 1 == comp_groups.size(), &max_eps));
+        }
+        iterations = t;
+        if (options.early_convergence && max_eps < options.epsilon) break;
+      }
+      // Emission for this component.
+      for (const auto& g : comp_groups) {
+        IOLAP_RETURN_IF_ERROR(engine.RunGamma(g));
+      }
+      EmitStats stats;
+      for (const auto& g : comp_groups) {
+        IOLAP_RETURN_IF_ERROR(engine.RunEmit(g, &appender, &stats));
+      }
+      result->edges_emitted += stats.edges_emitted;
+      result->unallocatable_facts += stats.unallocatable_facts;
+      result->peak_window_records =
+          std::max(result->peak_window_records, engine.peak_window_records());
+    }
+    info.edb_end = result->edb.size();
+    result->components.max_component_iterations =
+        std::max<int64_t>(result->components.max_component_iterations,
+                          iterations);
+    result->components.total_component_iterations += iterations;
+    result->iterations =
+        static_cast<int>(result->components.max_component_iterations);
+  }
+  appender.Close();
+  return Status::Ok();
+}
+
+}  // namespace iolap

@@ -1,0 +1,84 @@
+#ifndef IOLAP_COMMON_RESULT_H_
+#define IOLAP_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace iolap {
+
+/// Value-or-Status, in the style of absl::StatusOr. A `Result<T>` holds
+/// either a `T` or a non-OK `Status`; constructing one from an OK status is
+/// a caller bug (asserted in debug builds, converted to kInternal in
+/// release builds so the error state stays well-defined).
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional, mirrors
+  // StatusOr so `return value;` and `return status;` both work.
+  Result(T value) : repr_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : repr_(std::move(status)) {
+    assert(!std::get<Status>(repr_).ok());
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+// Propagate errors up the call stack; the database-code staple.
+#define IOLAP_RETURN_IF_ERROR(expr)             \
+  do {                                          \
+    ::iolap::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#define IOLAP_CONCAT_IMPL(x, y) x##y
+#define IOLAP_CONCAT(x, y) IOLAP_CONCAT_IMPL(x, y)
+
+// IOLAP_ASSIGN_OR_RETURN(auto v, Foo()): evaluates Foo(); on error returns
+// its status from the enclosing function, otherwise moves the value into v.
+#define IOLAP_ASSIGN_OR_RETURN(decl, expr)                          \
+  auto IOLAP_CONCAT(_result_, __LINE__) = (expr);                   \
+  if (!IOLAP_CONCAT(_result_, __LINE__).ok())                       \
+    return IOLAP_CONCAT(_result_, __LINE__).status();               \
+  decl = std::move(IOLAP_CONCAT(_result_, __LINE__)).value()
+
+}  // namespace iolap
+
+#endif  // IOLAP_COMMON_RESULT_H_

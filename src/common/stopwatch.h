@@ -1,0 +1,34 @@
+#ifndef IOLAP_COMMON_STOPWATCH_H_
+#define IOLAP_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace iolap {
+
+/// Monotonic wall-clock stopwatch used by benchmarks and the allocator's
+/// per-phase timing instrumentation.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMillis() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace iolap
+
+#endif  // IOLAP_COMMON_STOPWATCH_H_

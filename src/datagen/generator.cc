@@ -1,0 +1,233 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/rng.h"
+
+namespace iolap {
+
+namespace {
+
+/// Weight of interior level `l` (2 <= l <= num_levels-1) when choosing how
+/// imprecise a value is. Level 2 (just above the leaves) dominates, as in
+/// Table 2 of the paper (e.g. LOCATION: State 21% vs Region 4%).
+double InteriorLevelWeight(int l) { return 1.0 / (1 << (2 * (l - 2))); }
+
+}  // namespace
+
+Result<TypedFile<FactRecord>> GenerateFacts(StorageEnv& env,
+                                            const StarSchema& schema,
+                                            const DatasetSpec& spec) {
+  const int k = schema.num_dims();
+  Rng rng(spec.seed);
+  IOLAP_ASSIGN_OR_RETURN(auto file,
+                         TypedFile<FactRecord>::Create(env.disk(), "facts"));
+  auto appender = file.MakeAppender(env.pool());
+
+  const double w_total =
+      spec.dims_weights[0] + spec.dims_weights[1] + spec.dims_weights[2];
+
+  // Bounded reservoir of precise cells used to anchor imprecise facts.
+  constexpr size_t kMaxAnchors = 1 << 18;
+  std::vector<std::array<LeafId, kMaxDims>> anchors;
+  anchors.reserve(std::min<int64_t>(spec.num_facts, kMaxAnchors));
+  int64_t precise_seen = 0;
+
+  auto skewed_leaf = [&](const Hierarchy& h) {
+    double u = rng.NextDouble();
+    if (spec.skew > 0) {
+      // Power-law concentration toward low leaf ids.
+      for (double s = spec.skew; s > 0; s -= 1.0) u *= rng.NextDouble();
+    }
+    return static_cast<LeafId>(u * h.num_leaves());
+  };
+
+  // Hotspot centers: correlated cluster cells the facts gather around.
+  const int64_t num_hotspots =
+      spec.num_hotspots > 0 ? spec.num_hotspots
+                            : std::max<int64_t>(1, spec.num_facts / 150);
+  std::vector<std::array<LeafId, kMaxDims>> hotspots(num_hotspots);
+  for (auto& center : hotspots) {
+    center.fill(0);
+    for (int d = 0; d < k; ++d) center[d] = skewed_leaf(schema.dim(d));
+  }
+  auto hotspot_cell = [&](FactRecord* fact) {
+    // Power-law hotspot popularity: a few clusters dominate.
+    double u = rng.NextDouble();
+    for (double s = spec.hotspot_skew; s > 0; s -= 1.0) u *= rng.NextDouble();
+    const auto& center = hotspots[static_cast<size_t>(u * num_hotspots)];
+    for (int d = 0; d < k; ++d) {
+      const Hierarchy& h = schema.dim(d);
+      LeafId leaf;
+      if (h.num_levels() >= 3 && rng.Bernoulli(spec.hotspot_fidelity)) {
+        // Stay in the hotspot's neighbourhood: a sibling under the
+        // center leaf's level-2 parent.
+        NodeId parent = h.AncestorAtLevel(h.leaf_node(center[d]), 2);
+        leaf = h.leaf_begin(parent) +
+               static_cast<LeafId>(rng.Uniform(h.region_width(parent)));
+      } else {
+        leaf = skewed_leaf(h);
+      }
+      fact->node[d] = h.leaf_node(leaf);
+      fact->level[d] = 1;
+    }
+  };
+
+  for (int64_t i = 0; i < spec.num_facts; ++i) {
+    FactRecord fact;
+    fact.fact_id = i + 1;
+    fact.measure = spec.measure_min +
+                   rng.NextDouble() * (spec.measure_max - spec.measure_min);
+    const bool imprecise = rng.Bernoulli(spec.imprecise_fraction) &&
+                           (!spec.anchored || !anchors.empty());
+    // Start from a cell: a skewed random leaf per dimension, or — for an
+    // anchored imprecise fact — the cell of an earlier precise fact.
+    if (imprecise && spec.anchored) {
+      const auto& anchor = anchors[rng.Uniform(anchors.size())];
+      for (int d = 0; d < k; ++d) {
+        fact.node[d] = schema.dim(d).leaf_node(anchor[d]);
+        fact.level[d] = 1;
+      }
+    } else {
+      hotspot_cell(&fact);
+    }
+    if (!imprecise) {
+      // Remember this precise cell as a potential anchor.
+      std::array<LeafId, kMaxDims> cell{};
+      for (int d = 0; d < k; ++d) {
+        cell[d] = schema.dim(d).leaf_begin(fact.node[d]);
+      }
+      if (anchors.size() < kMaxAnchors) {
+        anchors.push_back(cell);
+      } else {
+        // Reservoir sampling keeps the pool representative.
+        size_t slot = rng.Uniform(static_cast<uint64_t>(precise_seen) + 1);
+        if (slot < kMaxAnchors) anchors[slot] = cell;
+      }
+      ++precise_seen;
+    }
+    if (imprecise) {
+      // How many dimensions are imprecise?
+      double roll = rng.NextDouble() * w_total;
+      int num_imprecise = roll < spec.dims_weights[0]                        ? 1
+                          : roll < spec.dims_weights[0] + spec.dims_weights[1]
+                              ? 2
+                              : 3;
+      num_imprecise = std::min(num_imprecise, k);
+      // Choose the imprecise dimensions without replacement.
+      int chosen[kMaxDims];
+      int navail = k;
+      int avail[kMaxDims];
+      for (int d = 0; d < k; ++d) avail[d] = d;
+      int all_used = 0;
+      for (int j = 0; j < num_imprecise; ++j) {
+        int pick = static_cast<int>(rng.Uniform(navail));
+        chosen[j] = avail[pick];
+        avail[pick] = avail[--navail];
+      }
+      for (int j = 0; j < num_imprecise; ++j) {
+        const int d = chosen[j];
+        const Hierarchy& h = schema.dim(d);
+        const int levels = h.num_levels();
+        int level;
+        if (spec.allow_all && all_used < 2 && rng.Bernoulli(spec.all_fraction)) {
+          level = levels;  // ALL
+          ++all_used;
+        } else if (levels <= 2) {
+          // Only ALL exists above the leaves; without allow_all the value
+          // stays precise in this dimension.
+          continue;
+        } else {
+          double total = 0;
+          for (int l = 2; l < levels; ++l) total += InteriorLevelWeight(l);
+          double r = rng.NextDouble() * total;
+          level = levels - 1;
+          for (int l = 2; l < levels; ++l) {
+            r -= InteriorLevelWeight(l);
+            if (r <= 0) {
+              level = l;
+              break;
+            }
+          }
+        }
+        if (spec.anchored) {
+          // Generalize the anchor cell's value up to `level`.
+          fact.node[d] = h.AncestorAtLevel(fact.node[d], level);
+        } else {
+          const auto& nodes = h.nodes_at_level(level);
+          fact.node[d] = nodes[rng.Uniform(nodes.size())];
+        }
+        fact.level[d] = static_cast<uint8_t>(level);
+      }
+    }
+    IOLAP_RETURN_IF_ERROR(appender.Append(fact));
+  }
+  appender.Close();
+  return file;
+}
+
+Result<TypedFile<FactRecord>> MakePaperExampleFacts(StorageEnv& env,
+                                                    const StarSchema& schema) {
+  struct Row {
+    const char* loc;
+    const char* automobile;
+    double sales;
+  };
+  // Table 1 of the paper, in order p1..p14.
+  static const Row kRows[] = {
+      {"MA", "Civic", 100},   {"MA", "Sierra", 150}, {"NY", "F150", 100},
+      {"CA", "Civic", 175},   {"CA", "Sierra", 50},  {"MA", "Sedan", 100},
+      {"MA", "Truck", 120},   {"CA", "ALL", 160},    {"East", "Truck", 190},
+      {"West", "Sedan", 200}, {"ALL", "Civic", 80},  {"ALL", "F150", 120},
+      {"West", "Civic", 70},  {"West", "Sierra", 90},
+  };
+  IOLAP_ASSIGN_OR_RETURN(
+      auto file, TypedFile<FactRecord>::Create(env.disk(), "paper_facts"));
+  auto appender = file.MakeAppender(env.pool());
+  int64_t id = 1;
+  for (const Row& row : kRows) {
+    FactRecord fact;
+    fact.fact_id = id++;
+    fact.measure = row.sales;
+    IOLAP_ASSIGN_OR_RETURN(NodeId loc, schema.dim(0).FindNode(row.loc));
+    IOLAP_ASSIGN_OR_RETURN(NodeId automobile,
+                           schema.dim(1).FindNode(row.automobile));
+    fact.node[0] = loc;
+    fact.level[0] = static_cast<uint8_t>(schema.dim(0).level(loc));
+    fact.node[1] = automobile;
+    fact.level[1] = static_cast<uint8_t>(schema.dim(1).level(automobile));
+    IOLAP_RETURN_IF_ERROR(appender.Append(fact));
+  }
+  appender.Close();
+  return file;
+}
+
+Result<FactTableStats> AnalyzeFacts(StorageEnv& env, const StarSchema& schema,
+                                    const TypedFile<FactRecord>& facts) {
+  const int k = schema.num_dims();
+  FactTableStats stats;
+  stats.level_counts.resize(k);
+  for (int d = 0; d < k; ++d) {
+    stats.level_counts[d].assign(schema.dim(d).num_levels(), 0);
+  }
+  auto cursor = facts.Scan(env.pool());
+  FactRecord fact;
+  while (!cursor.done()) {
+    IOLAP_RETURN_IF_ERROR(cursor.Next(&fact));
+    int imprecise_dims = 0;
+    for (int d = 0; d < k; ++d) {
+      ++stats.level_counts[d][fact.level[d] - 1];
+      if (fact.level[d] > 1) ++imprecise_dims;
+    }
+    if (imprecise_dims == 0) {
+      ++stats.precise;
+    } else {
+      ++stats.imprecise;
+    }
+    ++stats.by_imprecise_dims[imprecise_dims];
+  }
+  return stats;
+}
+
+}  // namespace iolap

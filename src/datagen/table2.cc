@@ -1,0 +1,79 @@
+#include "datagen/table2.h"
+
+namespace iolap {
+
+Result<Hierarchy> BuildLeveledHierarchy(const std::string& name,
+                                        const std::vector<int>& level_counts) {
+  HierarchyBuilder builder(name);
+  std::vector<NodeId> frontier = {0};
+  for (size_t depth = 0; depth < level_counts.size(); ++depth) {
+    const int total = level_counts[depth];
+    if (total < static_cast<int>(frontier.size())) {
+      return Status::InvalidArgument(
+          "level " + std::to_string(depth) + " of " + name + " has " +
+          std::to_string(total) + " nodes for " +
+          std::to_string(frontier.size()) + " parents");
+    }
+    std::vector<NodeId> next;
+    next.reserve(total);
+    // Distribute `total` children over the frontier as evenly as possible.
+    const int parents = static_cast<int>(frontier.size());
+    int assigned = 0;
+    for (int p = 0; p < parents; ++p) {
+      int share = total / parents + (p < total % parents ? 1 : 0);
+      for (int i = 0; i < share; ++i) {
+        next.push_back(builder.AddNode(
+            frontier[p], name + "_L" + std::to_string(depth + 1) + "_" +
+                             std::to_string(assigned++)));
+      }
+    }
+    frontier = std::move(next);
+  }
+  return builder.Build();
+}
+
+Result<StarSchema> MakeAutomotiveSchema() {
+  std::vector<Hierarchy> dims;
+  IOLAP_ASSIGN_OR_RETURN(Hierarchy sr_area,
+                         BuildLeveledHierarchy("SR-AREA", {30, 694}));
+  IOLAP_ASSIGN_OR_RETURN(Hierarchy brand,
+                         BuildLeveledHierarchy("BRAND", {14, 203}));
+  IOLAP_ASSIGN_OR_RETURN(Hierarchy time,
+                         BuildLeveledHierarchy("TIME", {5, 15, 59}));
+  IOLAP_ASSIGN_OR_RETURN(Hierarchy location,
+                         BuildLeveledHierarchy("LOCATION", {10, 51, 900}));
+  dims.push_back(std::move(sr_area));
+  dims.push_back(std::move(brand));
+  dims.push_back(std::move(time));
+  dims.push_back(std::move(location));
+  return StarSchema::Create(std::move(dims));
+}
+
+Result<StarSchema> MakePaperExampleSchema() {
+  std::vector<Hierarchy> dims;
+  {
+    HierarchyBuilder b("Location");
+    NodeId east = b.AddNode(0, "East");
+    NodeId west = b.AddNode(0, "West");
+    b.AddNode(east, "MA");
+    b.AddNode(east, "NY");
+    b.AddNode(west, "TX");
+    b.AddNode(west, "CA");
+    IOLAP_ASSIGN_OR_RETURN(Hierarchy h, b.Build());
+    dims.push_back(std::move(h));
+  }
+  {
+    HierarchyBuilder b("Automobile");
+    NodeId sedan = b.AddNode(0, "Sedan");
+    NodeId truck = b.AddNode(0, "Truck");
+    b.AddNode(sedan, "Civic");
+    b.AddNode(sedan, "Camry");
+    b.AddNode(truck, "F150");
+    b.AddNode(truck, "Sierra");
+    IOLAP_ASSIGN_OR_RETURN(Hierarchy h, b.Build());
+    dims.push_back(std::move(h));
+  }
+  return StarSchema::Create(std::move(dims));
+}
+
+}  // namespace iolap

@@ -1,0 +1,30 @@
+#ifndef IOLAP_DATAGEN_TABLE2_H_
+#define IOLAP_DATAGEN_TABLE2_H_
+
+#include "common/result.h"
+#include "model/schema.h"
+
+namespace iolap {
+
+/// Builds one balanced hierarchy with the given node counts per level, from
+/// just below ALL down to the leaves (e.g. {30, 694} = 30 areas, 694
+/// sub-areas). Children are distributed as evenly as possible.
+Result<Hierarchy> BuildLeveledHierarchy(const std::string& name,
+                                        const std::vector<int>& level_counts);
+
+/// The four dimensions of the paper's real automotive dataset, with the
+/// exact fan-outs of Table 2:
+///   SR-AREA : ALL(1) -> Area(30) -> Sub-Area(694)
+///   BRAND   : ALL(1) -> Make(14) -> Model(203)
+///   TIME    : ALL(1) -> Quarter(5) -> Month(15) -> Week(59)
+///   LOCATION: ALL(1) -> Region(10) -> State(51) -> City(900)
+Result<StarSchema> MakeAutomotiveSchema();
+
+/// The running example of the paper (Table 1 / Figure 1): Location
+/// {ALL -> East,West -> MA,NY,TX,CA} and Automobile
+/// {ALL -> Sedan,Truck -> Civic,Camry,F150,Sierra}.
+Result<StarSchema> MakePaperExampleSchema();
+
+}  // namespace iolap
+
+#endif  // IOLAP_DATAGEN_TABLE2_H_

@@ -1,0 +1,141 @@
+#include "edb/query.h"
+
+#include <vector>
+
+namespace iolap {
+
+bool QueryEngine::CellInRegion(const QueryRegion& region,
+                               const int32_t* leaf) const {
+  for (int d = 0; d < schema_->num_dims(); ++d) {
+    if (!schema_->dim(d).Covers(region.node[d], leaf[d])) return false;
+  }
+  return true;
+}
+
+Result<AggregateResult> QueryEngine::Aggregate(
+    const QueryRegion& region, AggregateFunc func,
+    ImpreciseSemantics semantics) const {
+  AggregateResult out;
+  if (semantics == ImpreciseSemantics::kAllocationWeighted) {
+    auto cursor = edb_->Scan(env_->pool());
+    EdbRecord rec;
+    while (!cursor.done()) {
+      IOLAP_RETURN_IF_ERROR(cursor.Next(&rec));
+      if (!CellInRegion(region, rec.leaf)) continue;
+      out.sum += rec.weight * rec.measure;
+      out.count += rec.weight;
+    }
+  } else {
+    if (facts_ == nullptr) {
+      return Status::FailedPrecondition(
+          "None/Contains/Overlaps semantics require the original fact table");
+    }
+    const int k = schema_->num_dims();
+    auto cursor = facts_->Scan(env_->pool());
+    FactRecord fact;
+    while (!cursor.done()) {
+      IOLAP_RETURN_IF_ERROR(cursor.Next(&fact));
+      bool counted;
+      if (fact.IsPrecise(k)) {
+        int32_t leaf[kMaxDims] = {};
+        for (int d = 0; d < k; ++d) {
+          leaf[d] = schema_->dim(d).leaf_begin(fact.node[d]);
+        }
+        counted = CellInRegion(region, leaf);
+      } else if (semantics == ImpreciseSemantics::kNone) {
+        counted = false;
+      } else {
+        bool contains = true, overlaps = true;
+        for (int d = 0; d < k && overlaps; ++d) {
+          const Hierarchy& h = schema_->dim(d);
+          LeafId fb = h.leaf_begin(fact.node[d]), fe = h.leaf_end(fact.node[d]);
+          LeafId qb = h.leaf_begin(region.node[d]),
+                 qe = h.leaf_end(region.node[d]);
+          if (fb < qb || fe > qe) contains = false;
+          if (fe <= qb || qe <= fb) overlaps = false;
+        }
+        counted = semantics == ImpreciseSemantics::kContains ? contains
+                                                             : overlaps;
+      }
+      if (counted) {
+        out.sum += fact.measure;
+        out.count += 1;
+      }
+    }
+  }
+  switch (func) {
+    case AggregateFunc::kSum:
+      out.value = out.sum;
+      break;
+    case AggregateFunc::kCount:
+      out.value = out.count;
+      break;
+    case AggregateFunc::kAverage:
+      out.value = out.count > 0 ? out.sum / out.count : 0;
+      break;
+  }
+  return out;
+}
+
+Result<std::vector<AggregateResult>> QueryEngine::RollUp(
+    const QueryRegion& region, int dim, int level,
+    AggregateFunc func) const {
+  if (dim < 0 || dim >= schema_->num_dims()) {
+    return Status::InvalidArgument("rollup dimension out of range");
+  }
+  const Hierarchy& h = schema_->dim(dim);
+  if (level < 1 || level > h.num_levels()) {
+    return Status::InvalidArgument("rollup level out of range");
+  }
+  std::vector<AggregateResult> groups(h.num_nodes_at_level(level));
+  auto cursor = edb_->Scan(env_->pool());
+  EdbRecord rec;
+  while (!cursor.done()) {
+    IOLAP_RETURN_IF_ERROR(cursor.Next(&rec));
+    if (!CellInRegion(region, rec.leaf)) continue;
+    AggregateResult& g = groups[h.LeafAncestorOrdinal(rec.leaf[dim], level)];
+    g.sum += rec.weight * rec.measure;
+    g.count += rec.weight;
+  }
+  for (AggregateResult& g : groups) {
+    switch (func) {
+      case AggregateFunc::kSum:
+        g.value = g.sum;
+        break;
+      case AggregateFunc::kCount:
+        g.value = g.count;
+        break;
+      case AggregateFunc::kAverage:
+        g.value = g.count > 0 ? g.sum / g.count : 0;
+        break;
+    }
+  }
+  return groups;
+}
+
+Result<std::vector<EdbRecord>> QueryEngine::FactsIn(
+    const QueryRegion& region) const {
+  std::vector<EdbRecord> out;
+  auto cursor = edb_->Scan(env_->pool());
+  EdbRecord rec;
+  while (!cursor.done()) {
+    IOLAP_RETURN_IF_ERROR(cursor.Next(&rec));
+    if (rec.weight == 0 && rec.fact_id == -1) continue;  // tombstone
+    if (CellInRegion(region, rec.leaf)) out.push_back(rec);
+  }
+  return out;
+}
+
+Result<std::vector<EdbRecord>> QueryEngine::CompletionsOf(
+    FactId fact_id) const {
+  std::vector<EdbRecord> out;
+  auto cursor = edb_->Scan(env_->pool());
+  EdbRecord rec;
+  while (!cursor.done()) {
+    IOLAP_RETURN_IF_ERROR(cursor.Next(&rec));
+    if (rec.fact_id == fact_id) out.push_back(rec);
+  }
+  return out;
+}
+
+}  // namespace iolap

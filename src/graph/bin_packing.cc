@@ -1,0 +1,46 @@
+#include "graph/bin_packing.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace iolap {
+
+PackingResult FirstFitDecreasing(const std::vector<int64_t>& sizes,
+                                 int64_t capacity) {
+  const int n = static_cast<int>(sizes.size());
+  PackingResult result;
+  result.bin_of.assign(n, -1);
+  result.oversized.assign(n, false);
+
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return sizes[a] > sizes[b]; });
+
+  for (int item : order) {
+    if (sizes[item] > capacity) {
+      // Oversized: dedicated (overflowing) bin.
+      result.bin_of[item] = result.num_bins;
+      result.bin_load.push_back(sizes[item]);
+      result.oversized[item] = true;
+      ++result.num_bins;
+      continue;
+    }
+    int placed = -1;
+    for (int b = 0; b < result.num_bins; ++b) {
+      if (result.bin_load[b] + sizes[item] <= capacity) {
+        placed = b;
+        break;
+      }
+    }
+    if (placed < 0) {
+      placed = result.num_bins++;
+      result.bin_load.push_back(0);
+    }
+    result.bin_of[item] = placed;
+    result.bin_load[placed] += sizes[item];
+  }
+  return result;
+}
+
+}  // namespace iolap

@@ -1,0 +1,29 @@
+#ifndef IOLAP_GRAPH_BIN_PACKING_H_
+#define IOLAP_GRAPH_BIN_PACKING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace iolap {
+
+/// Assignment of items (summary tables, sized by partition size in pages)
+/// to bins (summary-table groups that must fit the buffer together) —
+/// Section 6's NP-complete grouping problem, solved with the standard
+/// first-fit-decreasing approximation the paper prescribes.
+struct PackingResult {
+  std::vector<int> bin_of;        // bin index per item
+  std::vector<int64_t> bin_load;  // total size per bin
+  int num_bins = 0;
+  /// Items individually larger than the capacity get a dedicated bin and
+  /// are flagged here; callers handle them specially (Block degrades to
+  /// thrash-prone windows, which the experiments surface honestly).
+  std::vector<bool> oversized;
+};
+
+/// First-fit decreasing bin packing (2-approximation; in fact 11/9·OPT+1).
+PackingResult FirstFitDecreasing(const std::vector<int64_t>& sizes,
+                                 int64_t capacity);
+
+}  // namespace iolap
+
+#endif  // IOLAP_GRAPH_BIN_PACKING_H_

@@ -1,0 +1,96 @@
+#include "graph/chain_cover.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace iolap {
+
+namespace {
+
+/// Kuhn's augmenting-path maximum bipartite matching. The instance sizes
+/// here are the number of summary tables (hundreds at most — bounded by the
+/// product of hierarchy depths), so O(V·E) is plenty.
+class Matcher {
+ public:
+  Matcher(int n, const std::vector<std::vector<int>>& adj)
+      : n_(n), adj_(adj), match_right_(n, -1) {}
+
+  int Solve() {
+    int matched = 0;
+    for (int v = 0; v < n_; ++v) {
+      used_.assign(n_, false);
+      if (TryAugment(v)) ++matched;
+    }
+    return matched;
+  }
+
+  const std::vector<int>& match_right() const { return match_right_; }
+
+ private:
+  bool TryAugment(int v) {
+    for (int to : adj_[v]) {
+      if (used_[to]) continue;
+      used_[to] = true;
+      if (match_right_[to] == -1 || TryAugment(match_right_[to])) {
+        match_right_[to] = v;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  int n_;
+  const std::vector<std::vector<int>>& adj_;
+  std::vector<int> match_right_;
+  std::vector<bool> used_;
+};
+
+}  // namespace
+
+ChainCover ComputeChainCover(const std::vector<LevelVector>& tables,
+                             int num_dims) {
+  const int n = static_cast<int>(tables.size());
+  ChainCover cover;
+  if (n == 0) return cover;
+
+  // Comparability edges i -> j whenever level(i) strictly dominates
+  // nothing... i.e. i is strictly below j in the partial order. The DAG is
+  // transitively closed, so a minimum path cover is a minimum chain cover.
+  std::vector<std::vector<int>> adj(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j && LevelVectorLeq(tables[i], tables[j], num_dims) &&
+          !LevelVectorLeq(tables[j], tables[i], num_dims)) {
+        adj[i].push_back(j);
+      }
+    }
+  }
+
+  Matcher matcher(n, adj);
+  int matched = matcher.Solve();
+
+  // next[i] = the table matched as i's successor in its chain.
+  std::vector<int> next(n, -1);
+  std::vector<bool> has_pred(n, false);
+  for (int j = 0; j < n; ++j) {
+    int i = matcher.match_right()[j];
+    if (i >= 0) {
+      next[i] = j;
+      has_pred[j] = true;
+    }
+  }
+
+  for (int start = 0; start < n; ++start) {
+    if (has_pred[start]) continue;
+    std::vector<int> chain;
+    for (int v = start; v != -1; v = next[v]) chain.push_back(v);
+    // Paths run from precise toward imprecise; the chain convention is most
+    // imprecise first.
+    std::reverse(chain.begin(), chain.end());
+    cover.chains.push_back(std::move(chain));
+  }
+  cover.width = n - matched;
+  return cover;
+}
+
+}  // namespace iolap

@@ -1,0 +1,39 @@
+#ifndef IOLAP_GRAPH_CHAIN_COVER_H_
+#define IOLAP_GRAPH_CHAIN_COVER_H_
+
+#include <vector>
+
+#include "model/schema.h"
+
+namespace iolap {
+
+/// Is `a` <= `b` componentwise over the first `num_dims` coordinates?
+/// (The summary-table partial order of Definition 8, in its transitive
+/// closure form: Si precedes Sj iff Si's levels are dominated by Sj's.)
+inline bool LevelVectorLeq(const LevelVector& a, const LevelVector& b,
+                           int num_dims) {
+  for (int d = 0; d < num_dims; ++d) {
+    if (a[d] > b[d]) return false;
+  }
+  return true;
+}
+
+/// Result of decomposing the summary-table partial order into chains.
+/// `chains[g]` lists summary-table indexes from most imprecise to most
+/// precise. `width` is the number of chains, which by Dilworth's theorem
+/// equals the longest antichain — the paper's lower bound `W` on the number
+/// of sorts the Independent algorithm performs per iteration (Section 5.1).
+struct ChainCover {
+  std::vector<std::vector<int>> chains;
+  int width = 0;
+};
+
+/// Computes a minimum chain cover of the given level vectors via minimum
+/// path cover on the comparability DAG (König/Dilworth: maximum bipartite
+/// matching). Level vectors must be pairwise distinct.
+ChainCover ComputeChainCover(const std::vector<LevelVector>& tables,
+                             int num_dims);
+
+}  // namespace iolap
+
+#endif  // IOLAP_GRAPH_CHAIN_COVER_H_

@@ -1,0 +1,75 @@
+#ifndef IOLAP_GRAPH_UNION_FIND_H_
+#define IOLAP_GRAPH_UNION_FIND_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace iolap {
+
+/// Disjoint-set forest with union by rank and path compression. This is the
+/// in-memory `ccidMap` of the Transitive algorithm (Section 8): component
+/// ids are merged as cells reveal that entries belong together, and
+/// `Canonical()` reproduces the paper's convention that a merged component
+/// is identified by the smallest ccid it absorbed.
+class UnionFind {
+ public:
+  explicit UnionFind(int32_t n = 0) { Reset(n); }
+
+  void Reset(int32_t n) {
+    parent_.resize(n);
+    std::iota(parent_.begin(), parent_.end(), 0);
+    rank_.assign(n, 0);
+    min_id_.resize(n);
+    std::iota(min_id_.begin(), min_id_.end(), 0);
+  }
+
+  int32_t size() const { return static_cast<int32_t>(parent_.size()); }
+
+  /// Adds a fresh singleton set; returns its id.
+  int32_t Add() {
+    int32_t id = size();
+    parent_.push_back(id);
+    rank_.push_back(0);
+    min_id_.push_back(id);
+    return id;
+  }
+
+  int32_t Find(int32_t x) {
+    int32_t root = x;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[x] != root) {
+      int32_t next = parent_[x];
+      parent_[x] = root;
+      x = next;
+    }
+    return root;
+  }
+
+  /// Merges the sets of `a` and `b`; returns the canonical (smallest) id of
+  /// the merged set.
+  int32_t Union(int32_t a, int32_t b) {
+    int32_t ra = Find(a);
+    int32_t rb = Find(b);
+    if (ra == rb) return min_id_[ra];
+    if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    if (rank_[ra] == rank_[rb]) ++rank_[ra];
+    min_id_[ra] = std::min(min_id_[ra], min_id_[rb]);
+    return min_id_[ra];
+  }
+
+  /// Smallest id ever merged into x's set — the paper's "true ccid".
+  int32_t Canonical(int32_t x) { return min_id_[Find(x)]; }
+
+  bool Connected(int32_t a, int32_t b) { return Find(a) == Find(b); }
+
+ private:
+  std::vector<int32_t> parent_;
+  std::vector<int32_t> rank_;
+  std::vector<int32_t> min_id_;
+};
+
+}  // namespace iolap
+
+#endif  // IOLAP_GRAPH_UNION_FIND_H_

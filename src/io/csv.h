@@ -1,0 +1,41 @@
+#ifndef IOLAP_IO_CSV_H_
+#define IOLAP_IO_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "model/records.h"
+#include "model/schema.h"
+#include "storage/paged_file.h"
+#include "storage/storage_env.h"
+
+namespace iolap {
+
+/// Splits one CSV line into fields. Supports double-quoted fields with ""
+/// escapes; no embedded newlines.
+std::vector<std::string> ParseCsvLine(const std::string& line);
+
+/// Loads a star schema from a hierarchy CSV with rows
+///   dimension,parent,node
+/// in top-down order (a node's parent must appear before it; an empty
+/// parent means a child of that dimension's ALL). Dimensions appear in
+/// first-encounter order. Hierarchies must come out balanced.
+Result<StarSchema> LoadSchemaCsv(const std::string& path);
+
+/// Loads a fact table from a CSV whose header is
+///   fact_id,<dim 1 name>,...,<dim k name>,measure
+/// Dimension values are node *names* at any hierarchy level (that is how
+/// imprecision is expressed: "Wisconsin" instead of "Madison").
+Result<TypedFile<FactRecord>> LoadFactsCsv(StorageEnv& env,
+                                           const StarSchema& schema,
+                                           const std::string& path);
+
+/// Writes the Extended Database as CSV:
+///   fact_id,<dim 1 leaf name>,...,<dim k leaf name>,weight,measure
+Status WriteEdbCsv(StorageEnv& env, const StarSchema& schema,
+                   const TypedFile<EdbRecord>& edb, const std::string& path);
+
+}  // namespace iolap
+
+#endif  // IOLAP_IO_CSV_H_

@@ -1,0 +1,56 @@
+#ifndef IOLAP_MODEL_SCHEMA_H_
+#define IOLAP_MODEL_SCHEMA_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "model/hierarchy.h"
+
+namespace iolap {
+
+/// Compile-time bound on dimensionality; keeps all disk records fixed-size.
+/// The paper's datasets use 4 dimensions.
+inline constexpr int kMaxDims = 6;
+
+/// Vector of level values, one per dimension; identifies a summary table
+/// (Definition 7). Unused trailing dimensions are level 1.
+using LevelVector = std::array<uint8_t, kMaxDims>;
+
+/// A fact-table schema (Definition 2): k dimension attributes with
+/// hierarchical domains plus a numeric measure. Level attributes are implied
+/// (every stored fact carries its level vector).
+class StarSchema {
+ public:
+  static Result<StarSchema> Create(std::vector<Hierarchy> dimensions) {
+    if (dimensions.empty() ||
+        dimensions.size() > static_cast<size_t>(kMaxDims)) {
+      return Status::InvalidArgument(
+          "schema must have between 1 and " + std::to_string(kMaxDims) +
+          " dimensions, got " + std::to_string(dimensions.size()));
+    }
+    StarSchema s;
+    s.dims_ = std::move(dimensions);
+    return s;
+  }
+
+  int num_dims() const { return static_cast<int>(dims_.size()); }
+  const Hierarchy& dim(int d) const { return dims_[d]; }
+
+  /// Total number of base-domain cells (cross product of leaf counts).
+  double TotalCellSpace() const {
+    double total = 1;
+    for (const Hierarchy& h : dims_) total *= h.num_leaves();
+    return total;
+  }
+
+ private:
+  std::vector<Hierarchy> dims_;
+};
+
+}  // namespace iolap
+
+#endif  // IOLAP_MODEL_SCHEMA_H_

@@ -1,0 +1,174 @@
+#ifndef IOLAP_MODEL_SORT_KEY_H_
+#define IOLAP_MODEL_SORT_KEY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/records.h"
+#include "model/schema.h"
+
+namespace iolap {
+
+/// One term of a sort order: "the ancestor ordinal of dimension `dim` at
+/// hierarchy level `level`". Because leaves are DFS-numbered, ancestor
+/// ordinals are monotone in leaf id, so any term list yields a total order
+/// on cells under which hierarchy-aligned regions behave predictably.
+struct SortTerm {
+  int8_t dim;
+  int8_t level;
+};
+
+/// A sort order L: an ordered list of SortTerms, always refined down to the
+/// leaf level of every dimension so cell keys are total.
+class SortSpec {
+ public:
+  /// Canonical order: leaf ids in dimension order. The cell summary table C
+  /// is materialized in this order, and Block runs entirely in it.
+  static SortSpec Canonical(const StarSchema& schema) {
+    SortSpec spec;
+    for (int d = 0; d < schema.num_dims(); ++d) {
+      spec.terms_.push_back(SortTerm{static_cast<int8_t>(d), 1});
+    }
+    return spec;
+  }
+
+  /// Chain order (Theorem 5): given the chain's level vectors from most
+  /// imprecise to most precise, emits ancestor terms top-down so that every
+  /// summary table in the chain has contiguous regions in the cell order.
+  static SortSpec ForChain(const StarSchema& schema,
+                           const std::vector<LevelVector>& descending) {
+    SortSpec spec;
+    std::vector<int> current(schema.num_dims(), 127);  // "not yet emitted"
+    for (const LevelVector& v : descending) {
+      for (int d = 0; d < schema.num_dims(); ++d) {
+        if (v[d] < current[d]) {
+          spec.terms_.push_back(
+              SortTerm{static_cast<int8_t>(d), static_cast<int8_t>(v[d])});
+          current[d] = v[d];
+        }
+      }
+    }
+    for (int d = 0; d < schema.num_dims(); ++d) {
+      if (current[d] > 1) {
+        spec.terms_.push_back(SortTerm{static_cast<int8_t>(d), 1});
+      }
+    }
+    return spec;
+  }
+
+  const std::vector<SortTerm>& terms() const { return terms_; }
+
+ private:
+  std::vector<SortTerm> terms_;
+};
+
+/// Comparators under a SortSpec. Regions (imprecise facts) are compared by
+/// their key *interval*: `start` uses each region's first leaf per
+/// dimension, `end` its last. Within a chain order a region is exactly a
+/// key-prefix block, so these interval comparisons drive the one-record
+/// cursors of the Independent algorithm.
+class SpecComparator {
+ public:
+  SpecComparator(const StarSchema* schema, SortSpec spec)
+      : schema_(schema), spec_(std::move(spec)) {}
+
+  const SortSpec& spec() const { return spec_; }
+
+  int32_t CellTermValue(const SortTerm& t, const int32_t* leaf) const {
+    return schema_->dim(t.dim).LeafAncestorOrdinal(leaf[t.dim], t.level);
+  }
+
+  /// Term value at the low corner of a region.
+  int32_t RegionStartTermValue(const SortTerm& t, const int32_t* node,
+                               const uint8_t* level) const {
+    const Hierarchy& h = schema_->dim(t.dim);
+    if (t.level >= level[t.dim]) {
+      return h.ordinal(h.AncestorAtLevel(node[t.dim], t.level));
+    }
+    return h.LeafAncestorOrdinal(h.leaf_begin(node[t.dim]), t.level);
+  }
+
+  /// Term value at the high corner of a region.
+  int32_t RegionEndTermValue(const SortTerm& t, const int32_t* node,
+                             const uint8_t* level) const {
+    const Hierarchy& h = schema_->dim(t.dim);
+    if (t.level >= level[t.dim]) {
+      return h.ordinal(h.AncestorAtLevel(node[t.dim], t.level));
+    }
+    return h.LeafAncestorOrdinal(h.leaf_end(node[t.dim]) - 1, t.level);
+  }
+
+  bool CellLess(const CellRecord& a, const CellRecord& b) const {
+    for (const SortTerm& t : spec_.terms()) {
+      int32_t va = CellTermValue(t, a.leaf);
+      int32_t vb = CellTermValue(t, b.leaf);
+      if (va != vb) return va < vb;
+    }
+    return false;
+  }
+
+  /// Orders imprecise entries by region start key.
+  bool EntryLess(const ImpreciseRecord& a, const ImpreciseRecord& b) const {
+    for (const SortTerm& t : spec_.terms()) {
+      int32_t va = RegionStartTermValue(t, a.node, a.level);
+      int32_t vb = RegionStartTermValue(t, b.node, b.level);
+      if (va != vb) return va < vb;
+    }
+    return false;
+  }
+
+  /// < 0 / 0 / > 0 comparing the region's start key to the cell's key.
+  int CompareRegionStartToCell(const ImpreciseRecord& r,
+                               const CellRecord& c) const {
+    for (const SortTerm& t : spec_.terms()) {
+      int32_t vr = RegionStartTermValue(t, r.node, r.level);
+      int32_t vc = CellTermValue(t, c.leaf);
+      if (vr != vc) return vr < vc ? -1 : 1;
+    }
+    return 0;
+  }
+
+  /// < 0 / 0 / > 0 comparing the region's end key to the cell's key.
+  int CompareRegionEndToCell(const ImpreciseRecord& r,
+                             const CellRecord& c) const {
+    for (const SortTerm& t : spec_.terms()) {
+      int32_t vr = RegionEndTermValue(t, r.node, r.level);
+      int32_t vc = CellTermValue(t, c.leaf);
+      if (vr != vc) return vr < vc ? -1 : 1;
+    }
+    return 0;
+  }
+
+ private:
+  const StarSchema* schema_;
+  SortSpec spec_;
+};
+
+/// Orders raw facts into "summary table order" (Section 4.1): by level
+/// vector (so precise facts, all-ones, come first and each summary table is
+/// a contiguous segment), then by region start in canonical order (so the
+/// precise prefix materializes C already canonically sorted).
+class SummaryOrderLess {
+ public:
+  explicit SummaryOrderLess(const StarSchema* schema) : schema_(schema) {}
+
+  bool operator()(const FactRecord& a, const FactRecord& b) const {
+    for (int d = 0; d < schema_->num_dims(); ++d) {
+      if (a.level[d] != b.level[d]) return a.level[d] < b.level[d];
+    }
+    for (int d = 0; d < schema_->num_dims(); ++d) {
+      const Hierarchy& h = schema_->dim(d);
+      LeafId la = h.leaf_begin(a.node[d]);
+      LeafId lb = h.leaf_begin(b.node[d]);
+      if (la != lb) return la < lb;
+    }
+    return a.fact_id < b.fact_id;
+  }
+
+ private:
+  const StarSchema* schema_;
+};
+
+}  // namespace iolap
+
+#endif  // IOLAP_MODEL_SORT_KEY_H_

@@ -1,0 +1,400 @@
+#include "rtree/rtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace iolap {
+
+bool RectsIntersect(const Rect& a, const Rect& b, int k) {
+  for (int d = 0; d < k; ++d) {
+    if (a.hi[d] < b.lo[d] || b.hi[d] < a.lo[d]) return false;
+  }
+  return true;
+}
+
+bool RectContains(const Rect& outer, const Rect& inner, int k) {
+  for (int d = 0; d < k; ++d) {
+    if (inner.lo[d] < outer.lo[d] || inner.hi[d] > outer.hi[d]) return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool RectsEqual(const Rect& a, const Rect& b, int k) {
+  for (int d = 0; d < k; ++d) {
+    if (a.lo[d] != b.lo[d] || a.hi[d] != b.hi[d]) return false;
+  }
+  return true;
+}
+
+double Area(const Rect& r, int k) {
+  double area = 1;
+  for (int d = 0; d < k; ++d) {
+    area *= static_cast<double>(r.hi[d]) - r.lo[d] + 1;
+  }
+  return area;
+}
+
+Rect Combine(const Rect& a, const Rect& b, int k) {
+  Rect r;
+  for (int d = 0; d < k; ++d) {
+    r.lo[d] = std::min(a.lo[d], b.lo[d]);
+    r.hi[d] = std::max(a.hi[d], b.hi[d]);
+  }
+  return r;
+}
+
+double Enlargement(const Rect& base, const Rect& add, int k) {
+  return Area(Combine(base, add, k), k) - Area(base, k);
+}
+
+}  // namespace
+
+struct RTree::Entry {
+  Rect rect;
+  std::unique_ptr<Node> child;  // null in leaves
+  int64_t id = -1;
+};
+
+struct RTree::Node {
+  bool leaf = true;
+  Node* parent = nullptr;
+  std::vector<Entry> entries;
+
+  Rect Mbr(int k) const {
+    Rect r = entries.front().rect;
+    for (size_t i = 1; i < entries.size(); ++i) {
+      r = Combine(r, entries[i].rect, k);
+    }
+    return r;
+  }
+};
+
+RTree::RTree(int num_dims, int max_entries)
+    : k_(num_dims),
+      max_entries_(std::max(max_entries, 4)),
+      min_entries_(std::max(max_entries, 4) / 2),
+      root_(std::make_unique<Node>()) {}
+
+RTree::~RTree() = default;
+RTree::RTree(RTree&&) noexcept = default;
+RTree& RTree::operator=(RTree&&) noexcept = default;
+
+int RTree::height() const {
+  int h = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->entries.front().child.get();
+    ++h;
+  }
+  return h;
+}
+
+RTree::Node* RTree::ChooseLeaf(Node* node, const Rect& rect, int /*level*/) {
+  while (!node->leaf) {
+    Entry* best = nullptr;
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (Entry& e : node->entries) {
+      double enl = Enlargement(e.rect, rect, k_);
+      double area = Area(e.rect, k_);
+      if (enl < best_enlargement ||
+          (enl == best_enlargement && area < best_area)) {
+        best = &e;
+        best_enlargement = enl;
+        best_area = area;
+      }
+    }
+    node = best->child.get();
+  }
+  return node;
+}
+
+void RTree::SplitNode(Node* node, std::unique_ptr<Node>* new_node) {
+  // Quadratic split (Guttman): pick the pair wasting the most area as
+  // seeds, then assign entries by preference until done.
+  std::vector<Entry> entries = std::move(node->entries);
+  node->entries.clear();
+  *new_node = std::make_unique<Node>();
+  (*new_node)->leaf = node->leaf;
+
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      double waste = Area(Combine(entries[i].rect, entries[j].rect, k_), k_) -
+                     Area(entries[i].rect, k_) - Area(entries[j].rect, k_);
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  auto push = [&](Node* dst, Entry&& e) {
+    if (e.child != nullptr) e.child->parent = dst;
+    dst->entries.push_back(std::move(e));
+  };
+  Rect mbr_a = entries[seed_a].rect;
+  Rect mbr_b = entries[seed_b].rect;
+  std::vector<bool> assigned(entries.size(), false);
+  assigned[seed_a] = assigned[seed_b] = true;
+  push(node, std::move(entries[seed_a]));
+  push(new_node->get(), std::move(entries[seed_b]));
+
+  size_t remaining = entries.size() - 2;
+  while (remaining > 0) {
+    // If one group must take everything to reach min_entries_, do so.
+    if (node->entries.size() + remaining ==
+        static_cast<size_t>(min_entries_)) {
+      for (size_t i = 0; i < entries.size(); ++i) {
+        if (!assigned[i]) {
+          assigned[i] = true;
+          mbr_a = Combine(mbr_a, entries[i].rect, k_);
+          push(node, std::move(entries[i]));
+        }
+      }
+      remaining = 0;
+      break;
+    }
+    if ((*new_node)->entries.size() + remaining ==
+        static_cast<size_t>(min_entries_)) {
+      for (size_t i = 0; i < entries.size(); ++i) {
+        if (!assigned[i]) {
+          assigned[i] = true;
+          mbr_b = Combine(mbr_b, entries[i].rect, k_);
+          push(new_node->get(), std::move(entries[i]));
+        }
+      }
+      remaining = 0;
+      break;
+    }
+    // PickNext: the entry with the strongest preference.
+    size_t best = 0;
+    double best_diff = -1;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (assigned[i]) continue;
+      double da = Enlargement(mbr_a, entries[i].rect, k_);
+      double db = Enlargement(mbr_b, entries[i].rect, k_);
+      double diff = std::abs(da - db);
+      if (diff > best_diff) {
+        best_diff = diff;
+        best = i;
+      }
+    }
+    double da = Enlargement(mbr_a, entries[best].rect, k_);
+    double db = Enlargement(mbr_b, entries[best].rect, k_);
+    assigned[best] = true;
+    --remaining;
+    if (da < db || (da == db && node->entries.size() <=
+                                    (*new_node)->entries.size())) {
+      mbr_a = Combine(mbr_a, entries[best].rect, k_);
+      push(node, std::move(entries[best]));
+    } else {
+      mbr_b = Combine(mbr_b, entries[best].rect, k_);
+      push(new_node->get(), std::move(entries[best]));
+    }
+  }
+}
+
+void RTree::AdjustTree(Node* node, std::unique_ptr<Node> split) {
+  while (node->parent != nullptr) {
+    Node* parent = node->parent;
+    // Refresh this node's MBR in its parent entry.
+    for (Entry& e : parent->entries) {
+      if (e.child.get() == node) {
+        e.rect = node->Mbr(k_);
+        break;
+      }
+    }
+    if (split != nullptr) {
+      Entry e;
+      e.rect = split->Mbr(k_);
+      split->parent = parent;
+      e.child = std::move(split);
+      parent->entries.push_back(std::move(e));
+      if (parent->entries.size() > static_cast<size_t>(max_entries_)) {
+        SplitNode(parent, &split);
+      } else {
+        split = nullptr;
+      }
+    }
+    node = parent;
+  }
+  if (split != nullptr) {
+    // Root split: grow the tree.
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    Entry a;
+    a.rect = root_->Mbr(k_);
+    root_->parent = new_root.get();
+    a.child = std::move(root_);
+    Entry b;
+    b.rect = split->Mbr(k_);
+    split->parent = new_root.get();
+    b.child = std::move(split);
+    new_root->entries.push_back(std::move(a));
+    new_root->entries.push_back(std::move(b));
+    root_ = std::move(new_root);
+  }
+}
+
+void RTree::Insert(const Rect& rect, int64_t id) {
+  Node* leaf = ChooseLeaf(root_.get(), rect, 0);
+  Entry e;
+  e.rect = rect;
+  e.id = id;
+  leaf->entries.push_back(std::move(e));
+  std::unique_ptr<Node> split;
+  if (leaf->entries.size() > static_cast<size_t>(max_entries_)) {
+    SplitNode(leaf, &split);
+  }
+  AdjustTree(leaf, std::move(split));
+  ++size_;
+}
+
+RTree::Node* RTree::FindLeaf(Node* node, const Rect& rect, int64_t id) {
+  if (node->leaf) {
+    for (const Entry& e : node->entries) {
+      if (e.id == id && RectsEqual(e.rect, rect, k_)) return node;
+    }
+    return nullptr;
+  }
+  for (const Entry& e : node->entries) {
+    if (RectContains(e.rect, rect, k_)) {
+      Node* found = FindLeaf(e.child.get(), rect, id);
+      if (found != nullptr) return found;
+    }
+  }
+  return nullptr;
+}
+
+void RTree::CondenseTree(Node* leaf) {
+  // Walk upward, dismantling underfull nodes; orphaned leaf entries are
+  // reinserted at the end.
+  std::vector<Entry> orphans;
+  auto collect_leaf_entries = [&](auto&& self, Node* n) -> void {
+    if (n->leaf) {
+      for (Entry& e : n->entries) orphans.push_back(std::move(e));
+      return;
+    }
+    for (Entry& e : n->entries) self(self, e.child.get());
+  };
+
+  Node* node = leaf;
+  while (node->parent != nullptr) {
+    Node* parent = node->parent;
+    if (node->entries.size() < static_cast<size_t>(min_entries_)) {
+      // Remove node from parent and stash its leaf entries.
+      for (size_t i = 0; i < parent->entries.size(); ++i) {
+        if (parent->entries[i].child.get() == node) {
+          std::unique_ptr<Node> removed =
+              std::move(parent->entries[i].child);
+          parent->entries.erase(parent->entries.begin() +
+                                static_cast<int64_t>(i));
+          collect_leaf_entries(collect_leaf_entries, removed.get());
+          break;
+        }
+      }
+    } else {
+      for (Entry& e : parent->entries) {
+        if (e.child.get() == node) {
+          e.rect = node->Mbr(k_);
+          break;
+        }
+      }
+    }
+    node = parent;
+  }
+  // Shrink the root if it has a single child.
+  while (!root_->leaf && root_->entries.size() == 1) {
+    std::unique_ptr<Node> child = std::move(root_->entries.front().child);
+    child->parent = nullptr;
+    root_ = std::move(child);
+  }
+  if (!root_->leaf && root_->entries.empty()) {
+    root_ = std::make_unique<Node>();
+  }
+  size_ -= static_cast<int64_t>(orphans.size());
+  for (Entry& e : orphans) {
+    Insert(e.rect, e.id);
+  }
+}
+
+bool RTree::Remove(const Rect& rect, int64_t id) {
+  Node* leaf = FindLeaf(root_.get(), rect, id);
+  if (leaf == nullptr) return false;
+  for (size_t i = 0; i < leaf->entries.size(); ++i) {
+    if (leaf->entries[i].id == id && RectsEqual(leaf->entries[i].rect, rect, k_)) {
+      leaf->entries.erase(leaf->entries.begin() + static_cast<int64_t>(i));
+      break;
+    }
+  }
+  --size_;
+  CondenseTree(leaf);
+  return true;
+}
+
+void RTree::SearchNode(const Node* node, const Rect& query,
+                       std::vector<int64_t>* out) const {
+  ++nodes_accessed_;
+  for (const Entry& e : node->entries) {
+    if (!RectsIntersect(e.rect, query, k_)) continue;
+    if (node->leaf) {
+      out->push_back(e.id);
+    } else {
+      SearchNode(e.child.get(), query, out);
+    }
+  }
+}
+
+void RTree::Search(const Rect& query, std::vector<int64_t>* out) const {
+  SearchNode(root_.get(), query, out);
+}
+
+bool RTree::CheckNode(const Node* node, bool is_root) const {
+  if (!is_root && node->entries.size() < static_cast<size_t>(min_entries_)) {
+    return false;
+  }
+  if (node->entries.size() > static_cast<size_t>(max_entries_)) return false;
+  if (node->leaf) return true;
+  for (const Entry& e : node->entries) {
+    if (e.child == nullptr || e.child->parent != node) return false;
+    if (e.child->entries.empty()) return false;
+    if (!RectsEqual(e.rect, e.child->Mbr(k_), k_)) return false;
+    if (!CheckNode(e.child.get(), false)) return false;
+  }
+  return true;
+}
+
+bool RTree::CheckInvariants() const {
+  if (size_ == 0) return root_->entries.empty() || root_->leaf;
+  // Uniform leaf depth.
+  const Node* node = root_.get();
+  int depth = 0;
+  while (!node->leaf) {
+    node = node->entries.front().child.get();
+    ++depth;
+  }
+  // Count entries.
+  int64_t count = 0;
+  auto walk = [&](auto&& self, const Node* n, int d) -> bool {
+    if (n->leaf) {
+      if (d != depth) return false;
+      count += static_cast<int64_t>(n->entries.size());
+      return true;
+    }
+    for (const Entry& e : n->entries) {
+      if (!self(self, e.child.get(), d + 1)) return false;
+    }
+    return true;
+  };
+  if (!walk(walk, root_.get(), 0)) return false;
+  if (count != size_) return false;
+  return CheckNode(root_.get(), true);
+}
+
+}  // namespace iolap

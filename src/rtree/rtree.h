@@ -1,0 +1,88 @@
+#ifndef IOLAP_RTREE_RTREE_H_
+#define IOLAP_RTREE_RTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "model/schema.h"
+
+namespace iolap {
+
+/// Axis-aligned integer box over leaf coordinates, bounds inclusive.
+struct Rect {
+  int32_t lo[kMaxDims] = {};
+  int32_t hi[kMaxDims] = {};
+
+  static Rect Of(const int32_t* lo_in, const int32_t* hi_in, int k) {
+    Rect r;
+    for (int d = 0; d < k; ++d) {
+      r.lo[d] = lo_in[d];
+      r.hi[d] = hi_in[d];
+    }
+    return r;
+  }
+};
+
+bool RectsIntersect(const Rect& a, const Rect& b, int k);
+bool RectContains(const Rect& outer, const Rect& inner, int k);
+
+/// Guttman R-tree (SIGMOD'84) with quadratic split, over integer boxes —
+/// the spatial index Section 9's EDB maintenance algorithm keeps over the
+/// connected components' bounding boxes. In-memory: the component count is
+/// orders of magnitude below the fact count, and the maintenance cost the
+/// paper measures is dominated by fact fetching and re-allocation, which
+/// stay on disk (see DESIGN.md substitutions).
+class RTree {
+ public:
+  explicit RTree(int num_dims, int max_entries = 16);
+  ~RTree();
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+  RTree(RTree&&) noexcept;
+  RTree& operator=(RTree&&) noexcept;
+
+  void Insert(const Rect& rect, int64_t id);
+
+  /// Removes the entry with this exact rect and id; false if absent.
+  bool Remove(const Rect& rect, int64_t id);
+
+  /// Appends the ids of all entries whose rect intersects `query`.
+  void Search(const Rect& query, std::vector<int64_t>* out) const;
+
+  int64_t size() const { return size_; }
+  int height() const;
+
+  /// Node visits performed by Search calls (index work metric).
+  int64_t nodes_accessed() const { return nodes_accessed_; }
+  void ResetStats() { nodes_accessed_ = 0; }
+
+  /// Validates R-tree invariants (entry counts, MBR containment); used by
+  /// tests. Returns false on any violation.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct Entry;
+
+  Node* ChooseLeaf(Node* node, const Rect& rect, int level);
+  void SplitNode(Node* node, std::unique_ptr<Node>* new_node);
+  void AdjustTree(Node* node, std::unique_ptr<Node> split);
+  Node* FindLeaf(Node* node, const Rect& rect, int64_t id);
+  void CondenseTree(Node* leaf);
+  void SearchNode(const Node* node, const Rect& query,
+                  std::vector<int64_t>* out) const;
+  bool CheckNode(const Node* node, bool is_root) const;
+
+  int k_;
+  int max_entries_;
+  int min_entries_;
+  std::unique_ptr<Node> root_;
+  int64_t size_ = 0;
+  mutable int64_t nodes_accessed_ = 0;
+};
+
+}  // namespace iolap
+
+#endif  // IOLAP_RTREE_RTREE_H_

@@ -1,0 +1,194 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+namespace iolap {
+
+PageGuard::PageGuard(BufferPool* pool, int32_t frame)
+    : pool_(pool), frame_(frame) {}
+
+PageGuard::~PageGuard() { Release(); }
+
+PageGuard::PageGuard(PageGuard&& other) noexcept
+    : pool_(other.pool_), frame_(other.frame_) {
+  other.pool_ = nullptr;
+  other.frame_ = -1;
+}
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    other.pool_ = nullptr;
+    other.frame_ = -1;
+  }
+  return *this;
+}
+
+std::byte* PageGuard::data() { return pool_->FrameData(frame_); }
+const std::byte* PageGuard::data() const { return pool_->FrameData(frame_); }
+
+void PageGuard::MarkDirty() { pool_->SetDirty(frame_); }
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+    frame_ = -1;
+  }
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity_pages)
+    : disk_(disk), capacity_(capacity_pages) {
+  frames_.resize(capacity_);
+  free_frames_.reserve(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    frames_[i].data = std::make_unique<std::byte[]>(kPageSize);
+    free_frames_.push_back(static_cast<int32_t>(capacity_ - 1 - i));
+  }
+}
+
+size_t BufferPool::pinned_pages() const {
+  size_t n = 0;
+  for (const Frame& f : frames_) {
+    if (f.pin_count > 0) ++n;
+  }
+  return n;
+}
+
+Result<int32_t> BufferPool::FindVictim() {
+  if (!free_frames_.empty()) {
+    int32_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    return idx;
+  }
+  if (lru_.empty()) {
+    return Status::ResourceExhausted(
+        "buffer pool of " + std::to_string(capacity_) +
+        " pages has every frame pinned");
+  }
+  int32_t idx = lru_.front();
+  lru_.pop_front();
+  Frame& frame = frames_[idx];
+  frame.in_lru = false;
+  IOLAP_RETURN_IF_ERROR(FlushFrame(frame));
+  page_table_.erase(Key{frame.file, frame.page});
+  ++stats_.evictions;
+  frame.file = kInvalidFileId;
+  frame.page = -1;
+  return idx;
+}
+
+Status BufferPool::FlushFrame(Frame& frame) {
+  if (frame.dirty) {
+    IOLAP_RETURN_IF_ERROR(
+        disk_->WritePage(frame.file, frame.page, frame.data.get()));
+    frame.dirty = false;
+    ++stats_.dirty_writebacks;
+  }
+  return Status::Ok();
+}
+
+Result<PageGuard> BufferPool::Pin(FileId file, PageId page) {
+  auto it = page_table_.find(Key{file, page});
+  if (it != page_table_.end()) {
+    ++stats_.hits;
+    Frame& frame = frames_[it->second];
+    if (frame.in_lru) {
+      lru_.erase(frame.lru_pos);
+      frame.in_lru = false;
+    }
+    ++frame.pin_count;
+    return PageGuard(this, it->second);
+  }
+  ++stats_.misses;
+  IOLAP_ASSIGN_OR_RETURN(int32_t idx, FindVictim());
+  Frame& frame = frames_[idx];
+  Status read = disk_->ReadPage(file, page, frame.data.get());
+  if (!read.ok()) {
+    free_frames_.push_back(idx);
+    return read;
+  }
+  frame.file = file;
+  frame.page = page;
+  frame.pin_count = 1;
+  frame.dirty = false;
+  page_table_[Key{file, page}] = idx;
+  return PageGuard(this, idx);
+}
+
+Result<PageGuard> BufferPool::PinNew(FileId file, PageId page) {
+  IOLAP_ASSIGN_OR_RETURN(int64_t size, disk_->SizeInPages(file));
+  if (page != size) {
+    return Status::InvalidArgument(
+        "PinNew page " + std::to_string(page) + " != file size " +
+        std::to_string(size));
+  }
+  if (page_table_.count(Key{file, page}) != 0) {
+    return Status::Internal("PinNew page already cached");
+  }
+  IOLAP_ASSIGN_OR_RETURN(int32_t idx, FindVictim());
+  Frame& frame = frames_[idx];
+  std::memset(frame.data.get(), 0, kPageSize);
+  // Materialize the page on disk immediately so the file grows densely and
+  // later reads of it are well-defined even before the first flush.
+  Status write = disk_->WritePage(file, page, frame.data.get());
+  if (!write.ok()) {
+    free_frames_.push_back(idx);
+    return write;
+  }
+  frame.file = file;
+  frame.page = page;
+  frame.pin_count = 1;
+  frame.dirty = false;
+  page_table_[Key{file, page}] = idx;
+  return PageGuard(this, idx);
+}
+
+void BufferPool::Unpin(int32_t frame_index) {
+  Frame& frame = frames_[frame_index];
+  if (--frame.pin_count == 0) {
+    lru_.push_back(frame_index);
+    frame.lru_pos = std::prev(lru_.end());
+    frame.in_lru = true;
+  }
+}
+
+Status BufferPool::FlushFile(FileId file) {
+  for (Frame& frame : frames_) {
+    if (frame.file == file) IOLAP_RETURN_IF_ERROR(FlushFrame(frame));
+  }
+  return Status::Ok();
+}
+
+Status BufferPool::EvictFile(FileId file) {
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& frame = frames_[i];
+    if (frame.file != file) continue;
+    if (frame.pin_count > 0) {
+      return Status::FailedPrecondition(
+          "EvictFile: page " + std::to_string(frame.page) + " of file " +
+          std::to_string(file) + " is pinned");
+    }
+    IOLAP_RETURN_IF_ERROR(FlushFrame(frame));
+    page_table_.erase(Key{frame.file, frame.page});
+    if (frame.in_lru) {
+      lru_.erase(frame.lru_pos);
+      frame.in_lru = false;
+    }
+    frame.file = kInvalidFileId;
+    frame.page = -1;
+    free_frames_.push_back(static_cast<int32_t>(i));
+  }
+  return Status::Ok();
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& frame : frames_) {
+    if (frame.file != kInvalidFileId) IOLAP_RETURN_IF_ERROR(FlushFrame(frame));
+  }
+  return Status::Ok();
+}
+
+}  // namespace iolap

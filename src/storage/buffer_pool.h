@@ -1,0 +1,128 @@
+#ifndef IOLAP_STORAGE_BUFFER_POOL_H_
+#define IOLAP_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/io_stats.h"
+
+namespace iolap {
+
+class BufferPool;
+
+/// RAII pin on a buffer-pool page. While alive, the frame cannot be evicted
+/// and `data()` stays valid. Call `MarkDirty()` after mutating the page so
+/// the pool writes it back on eviction/flush.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, int32_t frame);
+  ~PageGuard();
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& other) noexcept;
+  PageGuard& operator=(PageGuard&& other) noexcept;
+
+  bool valid() const { return pool_ != nullptr; }
+  std::byte* data();
+  const std::byte* data() const;
+  void MarkDirty();
+
+  /// Drops the pin early (idempotent).
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  int32_t frame_ = -1;
+};
+
+/// Fixed-capacity LRU buffer pool over a DiskManager. This is the memory
+/// budget `B` in the paper's cost model: every algorithm accesses table
+/// pages exclusively through the pool, so restricting the pool's capacity
+/// reproduces the paper's "memory limited to a restricted buffer pool"
+/// experimental setup.
+class BufferPool {
+ public:
+  BufferPool(DiskManager* disk, size_t capacity_pages);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins an existing page, reading it from disk on a miss.
+  Result<PageGuard> Pin(FileId file, PageId page);
+
+  /// Pins a brand-new page at the end of `file` without a disk read. The
+  /// frame starts zeroed and dirty; `page` must equal the file's current
+  /// size in pages.
+  Result<PageGuard> PinNew(FileId file, PageId page);
+
+  /// Writes back all dirty pages of `file` (keeps them cached).
+  Status FlushFile(FileId file);
+
+  /// Writes back and drops every cached page of `file`. Required before
+  /// accessing the file through a different channel (e.g. external sort).
+  Status EvictFile(FileId file);
+
+  /// Flushes every dirty page in the pool.
+  Status FlushAll();
+
+  size_t capacity_pages() const { return capacity_; }
+  size_t pinned_pages() const;
+  const PoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = PoolStats{}; }
+  DiskManager* disk() const { return disk_; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    FileId file = kInvalidFileId;
+    PageId page = -1;
+    int32_t pin_count = 0;
+    bool dirty = false;
+    std::list<int32_t>::iterator lru_pos;  // valid iff in_lru
+    bool in_lru = false;
+    std::unique_ptr<std::byte[]> data;
+  };
+
+  struct Key {
+    FileId file;
+    PageId page;
+    bool operator==(const Key& o) const {
+      return file == o.file && page == o.page;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<int64_t>()((static_cast<int64_t>(k.file) << 48) ^
+                                  k.page);
+    }
+  };
+
+  Result<int32_t> FindVictim();
+  Status FlushFrame(Frame& frame);
+  void Unpin(int32_t frame_index);
+  void SetDirty(int32_t frame_index) { frames_[frame_index].dirty = true; }
+  std::byte* FrameData(int32_t frame_index) {
+    return frames_[frame_index].data.get();
+  }
+
+  DiskManager* disk_;
+  size_t capacity_;
+  std::vector<Frame> frames_;
+  std::vector<int32_t> free_frames_;
+  std::list<int32_t> lru_;  // front = least recently used, unpinned only
+  std::unordered_map<Key, int32_t, KeyHash> page_table_;
+  PoolStats stats_;
+};
+
+}  // namespace iolap
+
+#endif  // IOLAP_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,130 @@
+#include "storage/disk_manager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace iolap {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& op, const std::string& path) {
+  return op + " failed for " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+DiskManager::DiskManager(std::string directory)
+    : directory_(std::move(directory)) {
+  ::mkdir(directory_.c_str(), 0755);
+}
+
+DiskManager::~DiskManager() {
+  for (auto& [id, state] : files_) {
+    if (state.fd >= 0) ::close(state.fd);
+    ::unlink(state.path.c_str());
+  }
+}
+
+Result<FileId> DiskManager::CreateFile(const std::string& hint) {
+  FileId id = next_file_id_++;
+  std::string path =
+      directory_ + "/f" + std::to_string(id) + "_" + hint + ".dat";
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("open", path));
+  }
+  files_[id] = FileState{fd, 0, std::move(path)};
+  return id;
+}
+
+Result<const DiskManager::FileState*> DiskManager::GetFile(
+    FileId file) const {
+  auto it = files_.find(file);
+  if (it == files_.end()) {
+    return Status::NotFound("unknown file id " + std::to_string(file));
+  }
+  return &it->second;
+}
+
+Status DiskManager::ReadPage(FileId file, PageId page, void* buffer) {
+  if (fault_injector_) {
+    IOLAP_RETURN_IF_ERROR(fault_injector_('r', file, page));
+  }
+  IOLAP_ASSIGN_OR_RETURN(const FileState* state, GetFile(file));
+  if (page < 0 || page >= state->size_pages) {
+    return Status::OutOfRange("read of page " + std::to_string(page) +
+                              " beyond file of " +
+                              std::to_string(state->size_pages) + " pages");
+  }
+  ssize_t n = ::pread(state->fd, buffer, kPageSize,
+                      static_cast<off_t>(page) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError(ErrnoMessage("pread", state->path));
+  }
+  ++stats_.page_reads;
+  return Status::Ok();
+}
+
+Status DiskManager::WritePage(FileId file, PageId page, const void* buffer) {
+  if (fault_injector_) {
+    IOLAP_RETURN_IF_ERROR(fault_injector_('w', file, page));
+  }
+  auto it = files_.find(file);
+  if (it == files_.end()) {
+    return Status::NotFound("unknown file id " + std::to_string(file));
+  }
+  FileState& state = it->second;
+  if (page < 0 || page > state.size_pages) {
+    return Status::OutOfRange("write of page " + std::to_string(page) +
+                              " would leave a hole in file of " +
+                              std::to_string(state.size_pages) + " pages");
+  }
+  ssize_t n = ::pwrite(state.fd, buffer, kPageSize,
+                       static_cast<off_t>(page) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError(ErrnoMessage("pwrite", state.path));
+  }
+  if (page == state.size_pages) ++state.size_pages;
+  ++stats_.page_writes;
+  return Status::Ok();
+}
+
+Result<int64_t> DiskManager::SizeInPages(FileId file) const {
+  IOLAP_ASSIGN_OR_RETURN(const FileState* state, GetFile(file));
+  return state->size_pages;
+}
+
+Status DiskManager::Truncate(FileId file, int64_t pages) {
+  auto it = files_.find(file);
+  if (it == files_.end()) {
+    return Status::NotFound("unknown file id " + std::to_string(file));
+  }
+  FileState& state = it->second;
+  if (pages < 0 || pages > state.size_pages) {
+    return Status::OutOfRange("truncate to " + std::to_string(pages) +
+                              " pages invalid for file of " +
+                              std::to_string(state.size_pages) + " pages");
+  }
+  if (::ftruncate(state.fd, static_cast<off_t>(pages) * kPageSize) != 0) {
+    return Status::IoError(ErrnoMessage("ftruncate", state.path));
+  }
+  state.size_pages = pages;
+  return Status::Ok();
+}
+
+Status DiskManager::DeleteFile(FileId file) {
+  auto it = files_.find(file);
+  if (it == files_.end()) {
+    return Status::NotFound("unknown file id " + std::to_string(file));
+  }
+  ::close(it->second.fd);
+  ::unlink(it->second.path.c_str());
+  files_.erase(it);
+  return Status::Ok();
+}
+
+}  // namespace iolap

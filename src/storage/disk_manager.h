@@ -1,0 +1,94 @@
+#ifndef IOLAP_STORAGE_DISK_MANAGER_H_
+#define IOLAP_STORAGE_DISK_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/io_stats.h"
+
+namespace iolap {
+
+/// Size of one disk page in bytes. Matches the 4 KB page size used in the
+/// paper's experiments.
+inline constexpr size_t kPageSize = 4096;
+
+using FileId = int32_t;
+using PageId = int64_t;
+
+inline constexpr FileId kInvalidFileId = -1;
+
+/// Owns a workspace directory of page-addressed temporary files and counts
+/// every page read/write. All persistent state in the library (fact tables,
+/// summary tables, sort runs, the extended database) lives in files managed
+/// here, so `stats()` captures the total disk traffic of an operation.
+///
+/// Not thread-safe; the allocation algorithms are single-threaded by design
+/// (the paper's are too).
+class DiskManager {
+ public:
+  /// Creates (if needed) and takes over `directory`. Files created by this
+  /// manager are removed in the destructor.
+  explicit DiskManager(std::string directory);
+  ~DiskManager();
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Creates a new empty file. `hint` is embedded in the on-disk name for
+  /// debuggability only.
+  Result<FileId> CreateFile(const std::string& hint);
+
+  /// Reads page `page` of `file` into `buffer` (kPageSize bytes). Reading a
+  /// page at or beyond the current size is an error.
+  Status ReadPage(FileId file, PageId page, void* buffer);
+
+  /// Writes `buffer` (kPageSize bytes) to page `page`, growing the file if
+  /// `page` is the first page past the end. Writing further past the end is
+  /// an error (pages are always allocated densely).
+  Status WritePage(FileId file, PageId page, const void* buffer);
+
+  /// Number of pages currently in `file`.
+  Result<int64_t> SizeInPages(FileId file) const;
+
+  /// Shrinks `file` to `pages` pages. `pages` must not exceed current size.
+  Status Truncate(FileId file, int64_t pages);
+
+  /// Closes and unlinks `file`.
+  Status DeleteFile(FileId file);
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = IoStats{}; }
+
+  const std::string& directory() const { return directory_; }
+
+  /// Test hook: called before every page read ('r') / write ('w'); a
+  /// non-OK return is surfaced as that operation's result. Exercises the
+  /// error-propagation paths of everything built on top of the disk.
+  using FaultInjector = std::function<Status(char op, FileId, PageId)>;
+  void SetFaultInjector(FaultInjector injector) {
+    fault_injector_ = std::move(injector);
+  }
+
+ private:
+  struct FileState {
+    int fd = -1;
+    int64_t size_pages = 0;
+    std::string path;
+  };
+
+  Result<const FileState*> GetFile(FileId file) const;
+
+  std::string directory_;
+  FileId next_file_id_ = 0;
+  std::unordered_map<FileId, FileState> files_;
+  IoStats stats_;
+  FaultInjector fault_injector_;
+};
+
+}  // namespace iolap
+
+#endif  // IOLAP_STORAGE_DISK_MANAGER_H_

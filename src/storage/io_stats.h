@@ -1,0 +1,52 @@
+#ifndef IOLAP_STORAGE_IO_STATS_H_
+#define IOLAP_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+#include <ostream>
+
+namespace iolap {
+
+/// Counters for page-granularity disk traffic. The paper's cost model and
+/// all of its theorems are stated in page I/Os, so every experiment reports
+/// these alongside wall-clock time.
+struct IoStats {
+  int64_t page_reads = 0;
+  int64_t page_writes = 0;
+
+  int64_t total() const { return page_reads + page_writes; }
+
+  IoStats operator-(const IoStats& other) const {
+    return IoStats{page_reads - other.page_reads,
+                   page_writes - other.page_writes};
+  }
+  IoStats& operator+=(const IoStats& other) {
+    page_reads += other.page_reads;
+    page_writes += other.page_writes;
+    return *this;
+  }
+  bool operator==(const IoStats& other) const {
+    return page_reads == other.page_reads && page_writes == other.page_writes;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const IoStats& s) {
+  return os << "{reads=" << s.page_reads << " writes=" << s.page_writes << "}";
+}
+
+/// Buffer-pool behaviour counters (hits avoid disk traffic entirely).
+struct PoolStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  int64_t dirty_writebacks = 0;
+
+  PoolStats operator-(const PoolStats& other) const {
+    return PoolStats{hits - other.hits, misses - other.misses,
+                     evictions - other.evictions,
+                     dirty_writebacks - other.dirty_writebacks};
+  }
+};
+
+}  // namespace iolap
+
+#endif  // IOLAP_STORAGE_IO_STATS_H_

@@ -1,0 +1,188 @@
+#include "io/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "alloc/allocator.h"
+#include "common/result.h"
+#include "datagen/generator.h"
+#include "datagen/table2.h"
+#include "tests/test_util.h"
+
+namespace iolap {
+namespace {
+
+TEST(CsvLineTest, PlainFields) {
+  auto f = ParseCsvLine("a,b,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST(CsvLineTest, EmptyFieldsAndTrailingComma) {
+  auto f = ParseCsvLine("a,,c,");
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[1], "");
+  EXPECT_EQ(f[3], "");
+  EXPECT_EQ(ParseCsvLine("").size(), 1u);
+}
+
+TEST(CsvLineTest, QuotedFields) {
+  auto f = ParseCsvLine("\"a,b\",\"say \"\"hi\"\"\",plain");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a,b");
+  EXPECT_EQ(f[1], "say \"hi\"");
+  EXPECT_EQ(f[2], "plain");
+}
+
+TEST(CsvLineTest, StripsCarriageReturn) {
+  auto f = ParseCsvLine("a,b\r");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[1], "b");
+}
+
+class CsvIoTest : public ::testing::Test {
+ protected:
+  CsvIoTest() : dir_(MakeTempDir()), env_(dir_ + "/work", 64) {}
+
+  std::string WriteFile(const std::string& name, const std::string& body) {
+    std::string path = dir_ + "/" + name;
+    std::ofstream out(path);
+    out << body;
+    return path;
+  }
+
+  static constexpr const char* kSchema =
+      "# comment\n"
+      "Location,,East\nLocation,,West\n"
+      "Location,East,MA\nLocation,East,NY\n"
+      "Location,West,TX\nLocation,West,CA\n"
+      "Automobile,,Sedan\nAutomobile,,Truck\n"
+      "Automobile,Sedan,Civic\nAutomobile,Sedan,Camry\n"
+      "Automobile,Truck,F150\nAutomobile,Truck,Sierra\n";
+
+  std::string dir_;
+  StorageEnv env_;
+};
+
+TEST_F(CsvIoTest, LoadsSchema) {
+  std::string path = WriteFile("schema.csv", kSchema);
+  IOLAP_ASSERT_OK_AND_ASSIGN(StarSchema schema, LoadSchemaCsv(path));
+  ASSERT_EQ(schema.num_dims(), 2);
+  EXPECT_EQ(schema.dim(0).dimension_name(), "Location");
+  EXPECT_EQ(schema.dim(0).num_leaves(), 4);
+  EXPECT_EQ(schema.dim(1).num_levels(), 3);
+  IOLAP_ASSERT_OK_AND_ASSIGN(NodeId east, schema.dim(0).FindNode("East"));
+  EXPECT_EQ(schema.dim(0).level(east), 2);
+}
+
+TEST_F(CsvIoTest, SchemaErrors) {
+  EXPECT_FALSE(LoadSchemaCsv(dir_ + "/missing.csv").ok());
+  EXPECT_FALSE(
+      LoadSchemaCsv(WriteFile("bad1.csv", "Location,East\n")).ok());
+  // Parent not yet defined.
+  EXPECT_FALSE(
+      LoadSchemaCsv(WriteFile("bad2.csv", "Location,Ghost,MA\n")).ok());
+  // Duplicate node.
+  EXPECT_FALSE(LoadSchemaCsv(
+                   WriteFile("bad3.csv", "Location,,East\nLocation,,East\n"))
+                   .ok());
+  // Unbalanced (leaf at two depths).
+  EXPECT_FALSE(LoadSchemaCsv(WriteFile("bad4.csv",
+                                       "Location,,East\nLocation,,West\n"
+                                       "Location,East,MA\n"))
+                   .ok());
+}
+
+TEST_F(CsvIoTest, LoadsFactsAtMixedLevels) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(StarSchema schema,
+                             LoadSchemaCsv(WriteFile("schema.csv", kSchema)));
+  std::string facts_path = WriteFile("facts.csv",
+                                     "fact_id,Location,Automobile,measure\n"
+                                     "1,MA,Civic,100\n"
+                                     "2,East,Truck,190.5\n"
+                                     "3,ALL,Civic,80\n");
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto facts,
+                             LoadFactsCsv(env_, schema, facts_path));
+  ASSERT_EQ(facts.size(), 3);
+  IOLAP_ASSERT_OK_AND_ASSIGN(FactRecord f2, facts.Get(env_.pool(), 1));
+  EXPECT_EQ(f2.level[0], 2);  // East
+  EXPECT_EQ(f2.level[1], 2);  // Truck
+  EXPECT_DOUBLE_EQ(f2.measure, 190.5);
+  IOLAP_ASSERT_OK_AND_ASSIGN(FactRecord f3, facts.Get(env_.pool(), 2));
+  EXPECT_EQ(f3.level[0], 3);  // ALL
+  EXPECT_FALSE(f3.IsPrecise(2));
+}
+
+TEST_F(CsvIoTest, FactsErrors) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(StarSchema schema,
+                             LoadSchemaCsv(WriteFile("schema.csv", kSchema)));
+  EXPECT_FALSE(LoadFactsCsv(env_, schema, dir_ + "/missing.csv").ok());
+  // Bad header.
+  EXPECT_FALSE(
+      LoadFactsCsv(env_, schema,
+                   WriteFile("f1.csv", "id,Location,Automobile,measure\n"))
+          .ok());
+  // Unknown node name.
+  EXPECT_FALSE(LoadFactsCsv(env_, schema,
+                            WriteFile("f2.csv",
+                                      "fact_id,Location,Automobile,measure\n"
+                                      "1,Mars,Civic,1\n"))
+                   .ok());
+  // Wrong field count.
+  EXPECT_FALSE(LoadFactsCsv(env_, schema,
+                            WriteFile("f3.csv",
+                                      "fact_id,Location,Automobile,measure\n"
+                                      "1,MA,1\n"))
+                   .ok());
+}
+
+TEST_F(CsvIoTest, ColumnsMayBeReordered) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(StarSchema schema,
+                             LoadSchemaCsv(WriteFile("schema.csv", kSchema)));
+  std::string facts_path = WriteFile("facts.csv",
+                                     "fact_id,Automobile,Location,measure\n"
+                                     "1,Civic,MA,100\n");
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto facts,
+                             LoadFactsCsv(env_, schema, facts_path));
+  IOLAP_ASSERT_OK_AND_ASSIGN(FactRecord f, facts.Get(env_.pool(), 0));
+  EXPECT_EQ(schema.dim(0).name(f.node[0]), "MA");
+  EXPECT_EQ(schema.dim(1).name(f.node[1]), "Civic");
+}
+
+TEST_F(CsvIoTest, EdbRoundTrip) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(StarSchema schema,
+                             LoadSchemaCsv(WriteFile("schema.csv", kSchema)));
+  std::string facts_path = WriteFile("facts.csv",
+                                     "fact_id,Location,Automobile,measure\n"
+                                     "1,MA,Civic,100\n"
+                                     "2,CA,Civic,50\n"
+                                     "3,ALL,Civic,80\n");
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto facts,
+                             LoadFactsCsv(env_, schema, facts_path));
+  AllocationOptions options;
+  options.policy = PolicyKind::kUniform;
+  IOLAP_ASSERT_OK_AND_ASSIGN(AllocationResult result,
+                             Allocator::Run(env_, schema, &facts, options));
+  std::string out_path = dir_ + "/edb.csv";
+  IOLAP_ASSERT_OK(WriteEdbCsv(env_, schema, result.edb, out_path));
+
+  std::ifstream in(out_path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "fact_id,Location,Automobile,weight,measure");
+  int rows = 0;
+  bool saw_half = false;
+  while (std::getline(in, line)) {
+    auto fields = ParseCsvLine(line);
+    ASSERT_EQ(fields.size(), 5u);
+    if (fields[0] == "3" && fields[3] == "0.5") saw_half = true;
+    ++rows;
+  }
+  EXPECT_EQ(rows, 4);  // 2 precise + fact 3 split over 2 cells
+  EXPECT_TRUE(saw_half);
+}
+
+}  // namespace
+}  // namespace iolap

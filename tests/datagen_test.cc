@@ -1,0 +1,210 @@
+#include "datagen/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "alloc/allocator.h"
+
+#include "common/result.h"
+#include "datagen/table2.h"
+#include "tests/test_util.h"
+
+namespace iolap {
+namespace {
+
+TEST(Table2Test, AutomotiveSchemaMatchesPaperFanouts) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(StarSchema schema, MakeAutomotiveSchema());
+  ASSERT_EQ(schema.num_dims(), 4);
+  // SR-AREA: ALL(1) -> Area(30) -> Sub-Area(694)
+  EXPECT_EQ(schema.dim(0).num_levels(), 3);
+  EXPECT_EQ(schema.dim(0).num_nodes_at_level(2), 30);
+  EXPECT_EQ(schema.dim(0).num_leaves(), 694);
+  // BRAND: Make(14) -> Model(203)
+  EXPECT_EQ(schema.dim(1).num_nodes_at_level(2), 14);
+  EXPECT_EQ(schema.dim(1).num_leaves(), 203);
+  // TIME: Quarter(5) -> Month(15) -> Week(59)
+  EXPECT_EQ(schema.dim(2).num_levels(), 4);
+  EXPECT_EQ(schema.dim(2).num_nodes_at_level(3), 5);
+  EXPECT_EQ(schema.dim(2).num_nodes_at_level(2), 15);
+  EXPECT_EQ(schema.dim(2).num_leaves(), 59);
+  // LOCATION: Region(10) -> State(51) -> City(900)
+  EXPECT_EQ(schema.dim(3).num_levels(), 4);
+  EXPECT_EQ(schema.dim(3).num_nodes_at_level(3), 10);
+  EXPECT_EQ(schema.dim(3).num_nodes_at_level(2), 51);
+  EXPECT_EQ(schema.dim(3).num_leaves(), 900);
+}
+
+TEST(Table2Test, LeveledHierarchyDistributesEvenly) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(Hierarchy h,
+                             BuildLeveledHierarchy("H", {3, 10}));
+  // 10 leaves over 3 parents: 4/3/3.
+  const auto& parents = h.nodes_at_level(2);
+  ASSERT_EQ(parents.size(), 3u);
+  EXPECT_EQ(h.region_width(parents[0]), 4);
+  EXPECT_EQ(h.region_width(parents[1]), 3);
+  EXPECT_EQ(h.region_width(parents[2]), 3);
+}
+
+TEST(Table2Test, RejectsShrinkingLevels) {
+  EXPECT_FALSE(BuildLeveledHierarchy("Bad", {10, 5}).ok());
+}
+
+TEST(PaperExampleTest, FactsMatchTable1) {
+  StorageEnv env(MakeTempDir(), 16);
+  IOLAP_ASSERT_OK_AND_ASSIGN(StarSchema schema, MakePaperExampleSchema());
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto facts, MakePaperExampleFacts(env, schema));
+  ASSERT_EQ(facts.size(), 14);
+  // Spot-check p6 = (MA, Sedan, 100) with levels (1, 2).
+  IOLAP_ASSERT_OK_AND_ASSIGN(FactRecord p6, facts.Get(env.pool(), 5));
+  EXPECT_EQ(p6.fact_id, 6);
+  EXPECT_EQ(p6.measure, 100);
+  EXPECT_EQ(schema.dim(0).name(p6.node[0]), "MA");
+  EXPECT_EQ(schema.dim(1).name(p6.node[1]), "Sedan");
+  EXPECT_EQ(p6.level[0], 1);
+  EXPECT_EQ(p6.level[1], 2);
+  // p8 = (CA, ALL, 160) with levels (1, 3).
+  IOLAP_ASSERT_OK_AND_ASSIGN(FactRecord p8, facts.Get(env.pool(), 7));
+  EXPECT_EQ(schema.dim(1).level(p8.node[1]), 3);
+  EXPECT_EQ(p8.level[1], 3);
+}
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  GeneratorTest() : env_(MakeTempDir(), 512) {}
+  StorageEnv env_;
+};
+
+TEST_F(GeneratorTest, CompositionMatchesSpec) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(StarSchema schema, MakeAutomotiveSchema());
+  DatasetSpec spec;
+  spec.num_facts = 40'000;
+  spec.seed = 9;
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto facts, GenerateFacts(env_, schema, spec));
+  EXPECT_EQ(facts.size(), spec.num_facts);
+  IOLAP_ASSERT_OK_AND_ASSIGN(FactTableStats stats,
+                             AnalyzeFacts(env_, schema, facts));
+  // 30% imprecise within sampling noise.
+  double frac = static_cast<double>(stats.imprecise) / spec.num_facts;
+  EXPECT_NEAR(frac, 0.30, 0.01);
+  // Arity split 67/33/0.01.
+  double one = static_cast<double>(stats.by_imprecise_dims[1]) /
+               std::max<int64_t>(1, stats.imprecise);
+  EXPECT_NEAR(one, 0.67, 0.02);
+  EXPECT_EQ(stats.by_imprecise_dims[4], 0);  // never 4 imprecise dims
+  // No ALL without allow_all: top level never used.
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    EXPECT_EQ(stats.level_counts[d][schema.dim(d).num_levels() - 1], 0)
+        << "dim " << d;
+  }
+}
+
+TEST_F(GeneratorTest, AllVariantUsesAllInAtMostTwoDims) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(StarSchema schema, MakeAutomotiveSchema());
+  DatasetSpec spec;
+  spec.num_facts = 20'000;
+  spec.allow_all = true;
+  spec.all_fraction = 0.3;
+  spec.seed = 10;
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto facts, GenerateFacts(env_, schema, spec));
+  auto cursor = facts.Scan(env_.pool());
+  FactRecord f;
+  int64_t with_all = 0;
+  while (!cursor.done()) {
+    IOLAP_ASSERT_OK(cursor.Next(&f));
+    int alls = 0;
+    for (int d = 0; d < schema.num_dims(); ++d) {
+      if (f.level[d] == schema.dim(d).num_levels()) ++alls;
+    }
+    EXPECT_LE(alls, 2);
+    if (alls > 0) ++with_all;
+  }
+  EXPECT_GT(with_all, 0);
+}
+
+TEST_F(GeneratorTest, DeterministicForSameSeed) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(StarSchema schema, MakeAutomotiveSchema());
+  DatasetSpec spec;
+  spec.num_facts = 2'000;
+  spec.seed = 77;
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto a, GenerateFacts(env_, schema, spec));
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto b, GenerateFacts(env_, schema, spec));
+  ASSERT_EQ(a.size(), b.size());
+  for (int64_t i = 0; i < a.size(); i += 113) {
+    IOLAP_ASSERT_OK_AND_ASSIGN(FactRecord fa, a.Get(env_.pool(), i));
+    IOLAP_ASSERT_OK_AND_ASSIGN(FactRecord fb, b.Get(env_.pool(), i));
+    EXPECT_EQ(fa.measure, fb.measure);
+    EXPECT_EQ(0, std::memcmp(fa.node, fb.node, sizeof(fa.node)));
+  }
+  DatasetSpec other = spec;
+  other.seed = 78;
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto c, GenerateFacts(env_, schema, other));
+  bool any_diff = false;
+  for (int64_t i = 0; i < c.size() && !any_diff; i += 113) {
+    IOLAP_ASSERT_OK_AND_ASSIGN(FactRecord fa, a.Get(env_.pool(), i));
+    IOLAP_ASSERT_OK_AND_ASSIGN(FactRecord fc, c.Get(env_.pool(), i));
+    any_diff = std::memcmp(fa.node, fc.node, sizeof(fa.node)) != 0;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(GeneratorTest, AnchoredImpreciseFactsAreAllocatable) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(StarSchema schema, MakeAutomotiveSchema());
+  DatasetSpec spec;
+  spec.num_facts = 5'000;
+  spec.anchored = true;
+  spec.seed = 12;
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto facts, GenerateFacts(env_, schema, spec));
+  // Every anchored imprecise region contains its anchor's precise cell, so
+  // unallocatable facts must be zero after allocation.
+  AllocationOptions options;
+  options.algorithm = AlgorithmKind::kTransitive;
+  IOLAP_ASSERT_OK_AND_ASSIGN(AllocationResult result,
+                             Allocator::Run(env_, schema, &facts, options));
+  EXPECT_EQ(result.unallocatable_facts, 0);
+}
+
+TEST_F(GeneratorTest, MeasuresWithinRange) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(StarSchema schema, MakePaperExampleSchema());
+  DatasetSpec spec;
+  spec.num_facts = 1'000;
+  spec.measure_min = 5;
+  spec.measure_max = 6;
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto facts, GenerateFacts(env_, schema, spec));
+  auto cursor = facts.Scan(env_.pool());
+  FactRecord f;
+  while (!cursor.done()) {
+    IOLAP_ASSERT_OK(cursor.Next(&f));
+    EXPECT_GE(f.measure, 5);
+    EXPECT_LT(f.measure, 6);
+  }
+}
+
+TEST_F(GeneratorTest, HotspotsCreateSharedCells) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(StarSchema schema, MakeAutomotiveSchema());
+  DatasetSpec spec;
+  spec.num_facts = 20'000;
+  spec.imprecise_fraction = 0;
+  spec.seed = 4;
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto facts, GenerateFacts(env_, schema, spec));
+  std::set<std::array<int32_t, kMaxDims>> neighbourhoods;
+  auto cursor = facts.Scan(env_.pool());
+  FactRecord f;
+  while (!cursor.done()) {
+    IOLAP_ASSERT_OK(cursor.Next(&f));
+    // Facts cluster in level-2 neighbourhoods (the hotspot model), which is
+    // what makes imprecise regions chain-overlap into big components.
+    std::array<int32_t, kMaxDims> hood{};
+    for (int d = 0; d < schema.num_dims(); ++d) {
+      hood[d] = schema.dim(d).AncestorAtLevel(f.node[d], 2);
+    }
+    neighbourhoods.insert(hood);
+  }
+  // Uniform sampling would give ~30*14*15*51 = 321k equally likely
+  // neighbourhoods, i.e. nearly one per fact; hotspots collapse that to a
+  // small multiple of the hotspot count.
+  EXPECT_LT(neighbourhoods.size(), 0.25 * spec.num_facts);
+}
+
+}  // namespace
+}  // namespace iolap

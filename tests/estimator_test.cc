@@ -1,0 +1,151 @@
+#include "alloc/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "alloc/allocator.h"
+#include "common/result.h"
+#include "datagen/generator.h"
+#include "datagen/table2.h"
+#include "edb/query.h"
+#include "tests/test_util.h"
+
+namespace iolap {
+namespace {
+
+TEST(EstimatorTest, EmptyTable) {
+  StorageEnv env(MakeTempDir(), 32);
+  IOLAP_ASSERT_OK_AND_ASSIGN(StarSchema schema, MakePaperExampleSchema());
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto facts,
+                             TypedFile<FactRecord>::Create(env.disk(), "f"));
+  EstimateOptions options;
+  IOLAP_ASSERT_OK_AND_ASSIGN(AllocationEstimate est,
+                             EstimateAllocation(env, schema, facts, options));
+  EXPECT_EQ(est.sampled_facts, 0);
+}
+
+TEST(EstimatorTest, FullSampleIsExact) {
+  // With sample_size >= table size the "estimate" must equal the truth.
+  StorageEnv env(MakeTempDir(), 256);
+  IOLAP_ASSERT_OK_AND_ASSIGN(StarSchema schema, MakeAutomotiveSchema());
+  DatasetSpec spec;
+  spec.num_facts = 10'000;
+  spec.seed = 5;
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto facts, GenerateFacts(env, schema, spec));
+
+  EstimateOptions options;
+  options.sample_size = spec.num_facts;
+  options.epsilon = 0.005;
+  IOLAP_ASSERT_OK_AND_ASSIGN(AllocationEstimate est,
+                             EstimateAllocation(env, schema, facts, options));
+  EXPECT_EQ(est.sampled_facts, spec.num_facts);
+  EXPECT_EQ(est.sample_rate, 1.0);
+
+  AllocationOptions alloc;
+  alloc.algorithm = AlgorithmKind::kTransitive;
+  alloc.epsilon = 0.005;
+  IOLAP_ASSERT_OK_AND_ASSIGN(AllocationResult actual,
+                             Allocator::Run(env, schema, &facts, alloc));
+  EXPECT_EQ(est.sample_components, actual.components.num_components);
+  EXPECT_EQ(est.sample_largest_component,
+            actual.components.largest_component);
+  // Transitive's per-component iteration max equals the sample's global EM
+  // iteration count (the slowest component gates both).
+  EXPECT_EQ(est.estimated_iterations, actual.iterations);
+}
+
+TEST(EstimatorTest, PredictsIterationsWithinOne) {
+  StorageEnv env(MakeTempDir(), 1024);
+  IOLAP_ASSERT_OK_AND_ASSIGN(StarSchema schema, MakeAutomotiveSchema());
+  DatasetSpec spec;
+  spec.num_facts = 60'000;
+  spec.seed = 6;
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto facts, GenerateFacts(env, schema, spec));
+  EstimateOptions options;
+  options.sample_size = 10'000;
+  options.epsilon = 0.005;
+  IOLAP_ASSERT_OK_AND_ASSIGN(AllocationEstimate est,
+                             EstimateAllocation(env, schema, facts, options));
+
+  AllocationOptions alloc;
+  alloc.algorithm = AlgorithmKind::kBlock;
+  alloc.epsilon = 0.005;
+  IOLAP_ASSERT_OK_AND_ASSIGN(AllocationResult actual,
+                             Allocator::Run(env, schema, &facts, alloc));
+  EXPECT_NEAR(est.estimated_iterations, actual.iterations, 2)
+      << "estimate " << est.estimated_iterations << " vs actual "
+      << actual.iterations;
+}
+
+TEST(EstimatorTest, DetectsGiantComponent) {
+  StorageEnv env(MakeTempDir(), 1024);
+  IOLAP_ASSERT_OK_AND_ASSIGN(StarSchema schema, MakeAutomotiveSchema());
+  DatasetSpec spec = {};
+  spec.num_facts = 60'000;
+  spec.allow_all = true;
+  spec.all_fraction = 0.08;
+  spec.seed = 7;
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto facts, GenerateFacts(env, schema, spec));
+  EstimateOptions options;
+  options.sample_size = 10'000;
+  IOLAP_ASSERT_OK_AND_ASSIGN(AllocationEstimate est,
+                             EstimateAllocation(env, schema, facts, options));
+  EXPECT_TRUE(est.giant_component);
+  EXPECT_FALSE(est.largest_is_lower_bound);
+
+  AllocationOptions alloc;
+  alloc.algorithm = AlgorithmKind::kTransitive;
+  IOLAP_ASSERT_OK_AND_ASSIGN(AllocationResult actual,
+                             Allocator::Run(env, schema, &facts, alloc));
+  // The growth-law projection is an order-of-magnitude planning signal,
+  // not an exact count: require it within ~4x of the truth.
+  EXPECT_GT(est.estimated_largest_component,
+            actual.components.largest_component / 4);
+  EXPECT_LT(est.estimated_largest_component,
+            actual.components.largest_component * 4);
+  EXPECT_GT(est.growth_exponent, 0.6);
+}
+
+TEST(EstimatorTest, SubcriticalIsFlaggedAsLowerBound) {
+  StorageEnv env(MakeTempDir(), 1024);
+  IOLAP_ASSERT_OK_AND_ASSIGN(StarSchema schema, MakeAutomotiveSchema());
+  DatasetSpec spec;
+  spec.num_facts = 60'000;
+  spec.num_hotspots = 3000;  // many small clusters: subcritical
+  spec.hotspot_skew = 0.5;
+  spec.seed = 8;
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto facts, GenerateFacts(env, schema, spec));
+  EstimateOptions options;
+  options.sample_size = 5'000;
+  IOLAP_ASSERT_OK_AND_ASSIGN(AllocationEstimate est,
+                             EstimateAllocation(env, schema, facts, options));
+  EXPECT_FALSE(est.giant_component);
+  EXPECT_TRUE(est.largest_is_lower_bound);
+
+  AllocationOptions alloc;
+  alloc.algorithm = AlgorithmKind::kTransitive;
+  IOLAP_ASSERT_OK_AND_ASSIGN(AllocationResult actual,
+                             Allocator::Run(env, schema, &facts, alloc));
+  EXPECT_LE(est.sample_largest_component,
+            actual.components.largest_component);
+}
+
+TEST(EstimatorTest, DeterministicForSeed) {
+  StorageEnv env(MakeTempDir(), 256);
+  IOLAP_ASSERT_OK_AND_ASSIGN(StarSchema schema, MakeAutomotiveSchema());
+  DatasetSpec spec;
+  spec.num_facts = 20'000;
+  spec.seed = 9;
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto facts, GenerateFacts(env, schema, spec));
+  EstimateOptions options;
+  options.sample_size = 4'000;
+  IOLAP_ASSERT_OK_AND_ASSIGN(AllocationEstimate a,
+                             EstimateAllocation(env, schema, facts, options));
+  IOLAP_ASSERT_OK_AND_ASSIGN(AllocationEstimate b,
+                             EstimateAllocation(env, schema, facts, options));
+  EXPECT_EQ(a.sample_largest_component, b.sample_largest_component);
+  EXPECT_EQ(a.estimated_iterations, b.estimated_iterations);
+  EXPECT_EQ(a.sample_components, b.sample_components);
+}
+
+}  // namespace
+}  // namespace iolap

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "graph/bin_packing.h"
+#include "graph/chain_cover.h"
+#include "graph/union_find.h"
+
+namespace iolap {
+namespace {
+
+// ---------------------------------------------------------------- UnionFind
+
+TEST(UnionFindTest, SingletonsAreTheirOwnCanonical) {
+  UnionFind uf(5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.Canonical(i), i);
+  }
+}
+
+TEST(UnionFindTest, UnionMergesAndTracksMin) {
+  UnionFind uf(6);
+  uf.Union(4, 5);
+  uf.Union(2, 4);
+  EXPECT_TRUE(uf.Connected(2, 5));
+  EXPECT_FALSE(uf.Connected(0, 5));
+  EXPECT_EQ(uf.Canonical(5), 2);  // smallest id in the merged set
+  uf.Union(5, 0);
+  EXPECT_EQ(uf.Canonical(4), 0);
+}
+
+TEST(UnionFindTest, AddGrowsTheUniverse) {
+  UnionFind uf(2);
+  int32_t id = uf.Add();
+  EXPECT_EQ(id, 2);
+  uf.Union(0, 2);
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_FALSE(uf.Connected(1, 2));
+}
+
+TEST(UnionFindTest, RandomizedAgainstNaive) {
+  const int n = 200;
+  Rng rng(42);
+  UnionFind uf(n);
+  std::vector<int> naive(n);
+  for (int i = 0; i < n; ++i) naive[i] = i;
+  auto naive_merge = [&](int a, int b) {
+    int la = naive[a], lb = naive[b];
+    if (la == lb) return;
+    for (int i = 0; i < n; ++i) {
+      if (naive[i] == la) naive[i] = lb;
+    }
+  };
+  for (int step = 0; step < 500; ++step) {
+    int a = static_cast<int>(rng.Uniform(n));
+    int b = static_cast<int>(rng.Uniform(n));
+    uf.Union(a, b);
+    naive_merge(a, b);
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j : {0, 7, 100, n - 1}) {
+      EXPECT_EQ(uf.Connected(i, j), naive[i] == naive[j]);
+    }
+  }
+  // Canonical id is the min of the naive group.
+  for (int i = 0; i < n; ++i) {
+    int expected = i;
+    for (int j = 0; j < n; ++j) {
+      if (naive[j] == naive[i]) expected = std::min(expected, j);
+    }
+    EXPECT_EQ(uf.Canonical(i), expected);
+  }
+}
+
+// -------------------------------------------------------------- ChainCover
+
+LevelVector LV(std::initializer_list<int> levels) {
+  LevelVector v{};
+  v.fill(1);
+  int d = 0;
+  for (int l : levels) v[d++] = static_cast<uint8_t>(l);
+  return v;
+}
+
+void ValidateCover(const ChainCover& cover,
+                   const std::vector<LevelVector>& tables, int ndims) {
+  // Every table in exactly one chain.
+  std::set<int> seen;
+  for (const auto& chain : cover.chains) {
+    for (int t : chain) {
+      EXPECT_TRUE(seen.insert(t).second) << "table " << t << " repeated";
+    }
+    // Chain ordered most imprecise first: strictly decreasing.
+    for (size_t i = 1; i < chain.size(); ++i) {
+      EXPECT_TRUE(
+          LevelVectorLeq(tables[chain[i]], tables[chain[i - 1]], ndims))
+          << "chain not ordered";
+      EXPECT_FALSE(
+          LevelVectorLeq(tables[chain[i - 1]], tables[chain[i]], ndims));
+    }
+  }
+  EXPECT_EQ(seen.size(), tables.size());
+  EXPECT_EQ(cover.width, static_cast<int>(cover.chains.size()));
+}
+
+TEST(ChainCoverTest, SingleChainWhenTotallyOrdered) {
+  std::vector<LevelVector> tables = {LV({1, 2}), LV({2, 2}), LV({2, 3}),
+                                     LV({3, 3})};
+  ChainCover cover = ComputeChainCover(tables, 2);
+  ValidateCover(cover, tables, 2);
+  EXPECT_EQ(cover.width, 1);
+  EXPECT_EQ(cover.chains[0].size(), 4u);
+}
+
+TEST(ChainCoverTest, AntichainNeedsOneChainEach) {
+  std::vector<LevelVector> tables = {LV({1, 3}), LV({2, 2}), LV({3, 1})};
+  ChainCover cover = ComputeChainCover(tables, 2);
+  ValidateCover(cover, tables, 2);
+  EXPECT_EQ(cover.width, 3);
+}
+
+TEST(ChainCoverTest, PaperExampleFiveTables) {
+  // The running example's summary tables (Figure 3): S1 <1,2>, S2 <1,3>,
+  // S3 <2,2>, S4 <3,1>, S5 <2,1>. {S2, S3, S4} is a maximum antichain, so
+  // the minimum chain cover has width 3 (e.g. {S2,S1}, {S3,S5}, {S4}).
+  std::vector<LevelVector> tables = {LV({1, 2}), LV({1, 3}), LV({2, 2}),
+                                     LV({3, 1}), LV({2, 1})};
+  ChainCover cover = ComputeChainCover(tables, 2);
+  ValidateCover(cover, tables, 2);
+  EXPECT_EQ(cover.width, 3);
+}
+
+TEST(ChainCoverTest, EmptyInput) {
+  ChainCover cover = ComputeChainCover({}, 2);
+  EXPECT_EQ(cover.width, 0);
+  EXPECT_TRUE(cover.chains.empty());
+}
+
+TEST(ChainCoverTest, RandomizedCoverIsValidAndTight) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::set<std::array<int, 3>> used;
+    std::vector<LevelVector> tables;
+    int n = 3 + static_cast<int>(rng.Uniform(20));
+    while (static_cast<int>(tables.size()) < n) {
+      std::array<int, 3> raw = {1 + static_cast<int>(rng.Uniform(4)),
+                                1 + static_cast<int>(rng.Uniform(4)),
+                                1 + static_cast<int>(rng.Uniform(4))};
+      if (!used.insert(raw).second) continue;
+      tables.push_back(LV({raw[0], raw[1], raw[2]}));
+    }
+    ChainCover cover = ComputeChainCover(tables, 3);
+    ValidateCover(cover, tables, 3);
+    // Dilworth lower bound: any antichain found greedily can't exceed the
+    // cover width. Check a simple pairwise-incomparable subset.
+    std::vector<int> antichain;
+    for (int i = 0; i < n; ++i) {
+      bool comparable = false;
+      for (int j : antichain) {
+        if (LevelVectorLeq(tables[i], tables[j], 3) ||
+            LevelVectorLeq(tables[j], tables[i], 3)) {
+          comparable = true;
+          break;
+        }
+      }
+      if (!comparable) antichain.push_back(i);
+    }
+    EXPECT_GE(cover.width, static_cast<int>(antichain.size()));
+  }
+}
+
+// -------------------------------------------------------------- BinPacking
+
+TEST(BinPackingTest, EverythingFitsOneBin) {
+  PackingResult r = FirstFitDecreasing({3, 4, 2}, 10);
+  EXPECT_EQ(r.num_bins, 1);
+  EXPECT_EQ(r.bin_load[0], 9);
+}
+
+TEST(BinPackingTest, SplitsWhenNeeded) {
+  PackingResult r = FirstFitDecreasing({6, 5, 4, 3}, 10);
+  EXPECT_EQ(r.num_bins, 2);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_GE(r.bin_of[i], 0);
+    EXPECT_LT(r.bin_of[i], r.num_bins);
+  }
+  for (int64_t load : r.bin_load) EXPECT_LE(load, 10);
+}
+
+TEST(BinPackingTest, OversizedItemsGetOwnBins) {
+  PackingResult r = FirstFitDecreasing({15, 2, 3}, 10);
+  ASSERT_EQ(r.oversized.size(), 3u);
+  EXPECT_TRUE(r.oversized[0]);
+  EXPECT_FALSE(r.oversized[1]);
+  EXPECT_FALSE(r.oversized[2]);
+  // Nothing else shares the oversized bin.
+  EXPECT_NE(r.bin_of[1], r.bin_of[0]);
+  EXPECT_NE(r.bin_of[2], r.bin_of[0]);
+}
+
+TEST(BinPackingTest, EmptyInput) {
+  PackingResult r = FirstFitDecreasing({}, 10);
+  EXPECT_EQ(r.num_bins, 0);
+}
+
+TEST(BinPackingTest, RandomizedRespectsCapacityAndApproximation) {
+  Rng rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    int64_t capacity = 50 + static_cast<int64_t>(rng.Uniform(100));
+    std::vector<int64_t> sizes;
+    int64_t total = 0;
+    int n = 1 + static_cast<int>(rng.Uniform(60));
+    for (int i = 0; i < n; ++i) {
+      int64_t s = 1 + static_cast<int64_t>(rng.Uniform(capacity));
+      sizes.push_back(s);
+      total += s;
+    }
+    PackingResult r = FirstFitDecreasing(sizes, capacity);
+    std::vector<int64_t> load(r.num_bins, 0);
+    for (int i = 0; i < n; ++i) load[r.bin_of[i]] += sizes[i];
+    for (int b = 0; b < r.num_bins; ++b) {
+      EXPECT_LE(load[b], capacity);
+      EXPECT_EQ(load[b], r.bin_load[b]);
+    }
+    // FFD never exceeds 2x the fractional lower bound (Theorem 7's bound).
+    int64_t lower = (total + capacity - 1) / capacity;
+    EXPECT_LE(r.num_bins, 2 * lower);
+  }
+}
+
+}  // namespace
+}  // namespace iolap

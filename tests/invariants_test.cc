@@ -1,0 +1,317 @@
+// Cross-cutting invariant and integration tests: conservation laws of the
+// Extended Database, component census vs a brute-force reference, window
+// bounds, and the Transitive algorithm's external (large-component) path.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "datagen/generator.h"
+#include "datagen/table2.h"
+#include "graph/union_find.h"
+#include "tests/test_util.h"
+
+namespace iolap {
+namespace {
+
+std::vector<FactRecord> ReadFacts(StorageEnv& env,
+                                  const TypedFile<FactRecord>& facts) {
+  std::vector<FactRecord> out;
+  auto cursor = facts.Scan(env.pool());
+  FactRecord f;
+  while (!cursor.done()) {
+    EXPECT_TRUE(cursor.Next(&f).ok());
+    out.push_back(f);
+  }
+  return out;
+}
+
+// Brute-force connected components of the allocation graph: nodes are the
+// distinct precise cells plus the imprecise facts; edges join a fact to
+// every cell inside its region.
+struct ReferenceComponents {
+  int64_t num_components = 0;       // components containing >= 1 fact
+  int64_t largest = 0;              // in tuples (cells + facts)
+  int64_t singleton_cells = 0;
+  std::multiset<int64_t> sizes;
+};
+
+ReferenceComponents BruteForceComponents(const StarSchema& schema,
+                                         const std::vector<FactRecord>& facts) {
+  const int k = schema.num_dims();
+  using Cell = std::array<int32_t, kMaxDims>;
+  std::map<Cell, int> cell_ids;
+  std::vector<const FactRecord*> imprecise;
+  for (const FactRecord& f : facts) {
+    if (f.IsPrecise(k)) {
+      Cell c{};
+      for (int d = 0; d < k; ++d) c[d] = schema.dim(d).leaf_begin(f.node[d]);
+      cell_ids.emplace(c, static_cast<int>(cell_ids.size()));
+    } else {
+      imprecise.push_back(&f);
+    }
+  }
+  UnionFind uf(static_cast<int32_t>(cell_ids.size() + imprecise.size()));
+  std::vector<bool> fact_connected(imprecise.size(), false);
+  std::vector<bool> cell_connected(cell_ids.size(), false);
+  for (size_t i = 0; i < imprecise.size(); ++i) {
+    int32_t fact_node = static_cast<int32_t>(cell_ids.size() + i);
+    for (const auto& [cell, id] : cell_ids) {
+      bool inside = true;
+      for (int d = 0; d < k && inside; ++d) {
+        inside = schema.dim(d).Covers(imprecise[i]->node[d], cell[d]);
+      }
+      if (inside) {
+        uf.Union(fact_node, id);
+        fact_connected[i] = true;
+        cell_connected[id] = true;
+      }
+    }
+  }
+  std::map<int32_t, int64_t> size_of;
+  for (const auto& [cell, id] : cell_ids) {
+    if (cell_connected[id]) ++size_of[uf.Find(id)];
+  }
+  for (size_t i = 0; i < imprecise.size(); ++i) {
+    if (fact_connected[i]) {
+      ++size_of[uf.Find(static_cast<int32_t>(cell_ids.size() + i))];
+    }
+  }
+  ReferenceComponents out;
+  out.num_components = static_cast<int64_t>(size_of.size());
+  for (const auto& [root, size] : size_of) {
+    out.largest = std::max(out.largest, size);
+    out.sizes.insert(size);
+  }
+  for (const auto& [cell, id] : cell_ids) {
+    if (!cell_connected[id]) ++out.singleton_cells;
+  }
+  return out;
+}
+
+StarSchema SmallSchema() {
+  std::vector<Hierarchy> dims;
+  auto d0 = HierarchyBuilder::Uniform("D0", {3, 4});
+  auto d1 = HierarchyBuilder::Uniform("D1", {4, 3});
+  EXPECT_TRUE(d0.ok() && d1.ok());
+  dims.push_back(std::move(d0).value());
+  dims.push_back(std::move(d1).value());
+  auto s = StarSchema::Create(std::move(dims));
+  EXPECT_TRUE(s.ok());
+  return std::move(s).value();
+}
+
+TEST(ComponentCensusTest, MatchesBruteForceOnRandomData) {
+  StarSchema schema = SmallSchema();
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    StorageEnv env(MakeTempDir(), 64);
+    DatasetSpec spec;
+    spec.num_facts = 300;
+    spec.imprecise_fraction = 0.4;
+    spec.allow_all = seed % 2 == 0;
+    spec.seed = seed;
+    IOLAP_ASSERT_OK_AND_ASSIGN(auto facts, GenerateFacts(env, schema, spec));
+    std::vector<FactRecord> raw = ReadFacts(env, facts);
+    ReferenceComponents want = BruteForceComponents(schema, raw);
+
+    AllocationOptions options;
+    options.algorithm = AlgorithmKind::kTransitive;
+    IOLAP_ASSERT_OK_AND_ASSIGN(AllocationResult result,
+                               Allocator::Run(env, schema, &facts, options));
+    EXPECT_EQ(result.components.num_components, want.num_components)
+        << "seed " << seed;
+    EXPECT_EQ(result.components.largest_component, want.largest)
+        << "seed " << seed;
+    EXPECT_EQ(result.components.num_singleton_cells, want.singleton_cells)
+        << "seed " << seed;
+  }
+}
+
+TEST(ConservationTest, AllocatedMassEqualsFactMass) {
+  StarSchema schema = SmallSchema();
+  StorageEnv env(MakeTempDir(), 64);
+  DatasetSpec spec;
+  spec.num_facts = 500;
+  spec.imprecise_fraction = 0.5;
+  spec.seed = 6;
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto facts, GenerateFacts(env, schema, spec));
+  std::vector<FactRecord> raw = ReadFacts(env, facts);
+
+  AllocationOptions options;
+  options.algorithm = AlgorithmKind::kBlock;
+  options.epsilon = 1e-8;
+  options.max_iterations = 300;
+  IOLAP_ASSERT_OK_AND_ASSIGN(AllocationResult result,
+                             Allocator::Run(env, schema, &facts, options));
+
+  std::map<FactId, double> weight_sum;
+  double measure_mass = 0;
+  auto cursor = result.edb.Scan(env.pool());
+  EdbRecord rec;
+  while (!cursor.done()) {
+    IOLAP_ASSERT_OK(cursor.Next(&rec));
+    weight_sum[rec.fact_id] += rec.weight;
+    measure_mass += rec.weight * rec.measure;
+  }
+  // Every allocatable fact contributes exactly its measure once.
+  double expected_mass = 0;
+  int64_t allocatable = 0;
+  for (const FactRecord& f : raw) {
+    auto it = weight_sum.find(f.fact_id);
+    if (it != weight_sum.end()) {
+      EXPECT_NEAR(it->second, 1.0, 1e-9) << "fact " << f.fact_id;
+      expected_mass += f.measure;
+      ++allocatable;
+    }
+  }
+  EXPECT_NEAR(measure_mass, expected_mass, 1e-6);
+  EXPECT_EQ(allocatable + result.unallocatable_facts,
+            static_cast<int64_t>(raw.size()));
+}
+
+TEST(LargeComponentTest, ExternalPathKicksInAndMatchesBasic) {
+  // Craft a dataset whose single giant component exceeds a tiny buffer:
+  // ALL-in-D0 facts connect every D1 slice.
+  StarSchema schema = SmallSchema();
+  std::vector<FactRecord> raw;
+  Rng rng(3);
+  int64_t id = 1;
+  // Precise facts covering every cell (144 cells).
+  for (int32_t a = 0; a < schema.dim(0).num_leaves(); ++a) {
+    for (int32_t b = 0; b < schema.dim(1).num_leaves(); ++b) {
+      FactRecord f;
+      f.fact_id = id++;
+      f.measure = 1 + rng.NextDouble();
+      f.node[0] = schema.dim(0).leaf_node(a);
+      f.node[1] = schema.dim(1).leaf_node(b);
+      f.level[0] = f.level[1] = 1;
+      raw.push_back(f);
+    }
+  }
+  // ALL x leaf facts tie all rows within a column; leaf x ALL facts tie
+  // the columns together, giving one giant component.
+  for (int32_t b = 0; b < schema.dim(1).num_leaves(); ++b) {
+    FactRecord f;
+    f.fact_id = id++;
+    f.measure = 2;
+    f.node[0] = schema.dim(0).root();
+    f.level[0] = static_cast<uint8_t>(schema.dim(0).num_levels());
+    f.node[1] = schema.dim(1).leaf_node(b);
+    f.level[1] = 1;
+    raw.push_back(f);
+    for (int extra = 0; extra < 20; ++extra) {  // inflate the component
+      FactRecord g = f;
+      g.fact_id = id++;
+      g.measure = 1 + rng.NextDouble();
+      raw.push_back(g);
+    }
+  }
+  for (int32_t a = 0; a < schema.dim(0).num_leaves(); ++a) {
+    FactRecord f;
+    f.fact_id = id++;
+    f.measure = 3;
+    f.node[0] = schema.dim(0).leaf_node(a);
+    f.level[0] = 1;
+    f.node[1] = schema.dim(1).root();
+    f.level[1] = static_cast<uint8_t>(schema.dim(1).num_levels());
+    raw.push_back(f);
+  }
+
+  auto write_facts = [&](StorageEnv& env) {
+    auto file = TypedFile<FactRecord>::Create(env.disk(), "facts");
+    EXPECT_TRUE(file.ok());
+    auto appender = file->MakeAppender(env.pool());
+    for (const FactRecord& f : raw) EXPECT_TRUE(appender.Append(f).ok());
+    appender.Close();
+    return std::move(file).value();
+  };
+
+  // Reference: Basic with a huge buffer.
+  std::map<std::pair<FactId, int64_t>, double> reference;
+  {
+    StorageEnv env(MakeTempDir(), 512);
+    auto facts = write_facts(env);
+    AllocationOptions options;
+    options.algorithm = AlgorithmKind::kBasic;
+    options.epsilon = 0;
+    options.max_iterations = 6;
+    IOLAP_ASSERT_OK_AND_ASSIGN(AllocationResult r,
+                               Allocator::Run(env, schema, &facts, options));
+    auto cursor = r.edb.Scan(env.pool());
+    EdbRecord rec;
+    while (!cursor.done()) {
+      IOLAP_ASSERT_OK(cursor.Next(&rec));
+      reference[{rec.fact_id, rec.leaf[0] * 1000 + rec.leaf[1]}] = rec.weight;
+    }
+  }
+  // Transitive with a tiny buffer must take the external component path.
+  {
+    StorageEnv env(MakeTempDir(), 6);
+    auto facts = write_facts(env);
+    AllocationOptions options;
+    options.algorithm = AlgorithmKind::kTransitive;
+    options.epsilon = 0;
+    options.max_iterations = 6;
+    options.early_convergence = false;
+    IOLAP_ASSERT_OK_AND_ASSIGN(AllocationResult r,
+                               Allocator::Run(env, schema, &facts, options));
+    EXPECT_GE(r.components.num_large_components, 1);
+    auto cursor = r.edb.Scan(env.pool());
+    EdbRecord rec;
+    int64_t rows = 0;
+    while (!cursor.done()) {
+      IOLAP_ASSERT_OK(cursor.Next(&rec));
+      auto it = reference.find({rec.fact_id, rec.leaf[0] * 1000 + rec.leaf[1]});
+      ASSERT_NE(it, reference.end());
+      EXPECT_NEAR(rec.weight, it->second, 1e-9);
+      ++rows;
+    }
+    EXPECT_EQ(rows, static_cast<int64_t>(reference.size()));
+  }
+}
+
+TEST(ConvergenceTest, FinalEpsBelowThresholdWhenConverged) {
+  StarSchema schema = SmallSchema();
+  StorageEnv env(MakeTempDir(), 128);
+  DatasetSpec spec;
+  spec.num_facts = 400;
+  spec.imprecise_fraction = 0.4;
+  spec.seed = 8;
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto facts, GenerateFacts(env, schema, spec));
+  AllocationOptions options;
+  options.algorithm = AlgorithmKind::kBlock;
+  options.epsilon = 0.01;
+  IOLAP_ASSERT_OK_AND_ASSIGN(AllocationResult result,
+                             Allocator::Run(env, schema, &facts, options));
+  EXPECT_LT(result.final_eps, 0.01);
+  EXPECT_GE(result.iterations, 1);
+  EXPECT_LT(result.iterations, options.max_iterations);
+}
+
+TEST(ConvergenceTest, TighterEpsilonNeverFewerIterations) {
+  StarSchema schema = SmallSchema();
+  int prev_iterations = 0;
+  for (double eps : {0.5, 0.05, 0.005, 0.0005}) {
+    StorageEnv env(MakeTempDir(), 128);
+    DatasetSpec spec;
+    spec.num_facts = 400;
+    spec.imprecise_fraction = 0.4;
+    spec.seed = 8;
+    IOLAP_ASSERT_OK_AND_ASSIGN(auto facts, GenerateFacts(env, schema, spec));
+    AllocationOptions options;
+    options.algorithm = AlgorithmKind::kBlock;
+    options.epsilon = eps;
+    IOLAP_ASSERT_OK_AND_ASSIGN(AllocationResult result,
+                               Allocator::Run(env, schema, &facts, options));
+    EXPECT_GE(result.iterations, prev_iterations);
+    prev_iterations = result.iterations;
+  }
+}
+
+}  // namespace
+}  // namespace iolap

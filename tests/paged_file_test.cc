@@ -1,0 +1,161 @@
+#include "storage/paged_file.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/result.h"
+#include "tests/test_util.h"
+
+namespace iolap {
+namespace {
+
+struct Rec {
+  int64_t key;
+  int64_t payload;
+};
+
+class PagedFileTest : public ::testing::Test {
+ protected:
+  PagedFileTest() : disk_(MakeTempDir()), pool_(&disk_, 8) {}
+  DiskManager disk_;
+  BufferPool pool_;
+};
+
+TEST_F(PagedFileTest, AppendAndGet) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto file, TypedFile<Rec>::Create(disk_, "t"));
+  for (int64_t i = 0; i < 1000; ++i) {
+    IOLAP_ASSERT_OK(file.Append(pool_, Rec{i, i * i}));
+  }
+  EXPECT_EQ(file.size(), 1000);
+  for (int64_t i : {int64_t{0}, int64_t{255}, int64_t{256}, int64_t{999}}) {
+    IOLAP_ASSERT_OK_AND_ASSIGN(Rec r, file.Get(pool_, i));
+    EXPECT_EQ(r.key, i);
+    EXPECT_EQ(r.payload, i * i);
+  }
+  EXPECT_FALSE(file.Get(pool_, 1000).ok());
+  EXPECT_FALSE(file.Get(pool_, -1).ok());
+}
+
+TEST_F(PagedFileTest, RecordsPerPageIsFloor) {
+  EXPECT_EQ(TypedFile<Rec>::kRecordsPerPage,
+            static_cast<int64_t>(kPageSize / sizeof(Rec)));
+  struct Odd {
+    char data[1000];
+  };
+  EXPECT_EQ(TypedFile<Odd>::kRecordsPerPage, 4);
+}
+
+TEST_F(PagedFileTest, PutOverwrites) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto file, TypedFile<Rec>::Create(disk_, "t"));
+  IOLAP_ASSERT_OK(file.Append(pool_, Rec{1, 1}));
+  IOLAP_ASSERT_OK(file.Put(pool_, 0, Rec{2, 2}));
+  IOLAP_ASSERT_OK_AND_ASSIGN(Rec r, file.Get(pool_, 0));
+  EXPECT_EQ(r.key, 2);
+  EXPECT_EQ(file.size(), 1);
+}
+
+TEST_F(PagedFileTest, CursorScansSequentially) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto file, TypedFile<Rec>::Create(disk_, "t"));
+  const int64_t n = 3 * TypedFile<Rec>::kRecordsPerPage + 7;
+  auto appender = file.MakeAppender(pool_);
+  for (int64_t i = 0; i < n; ++i) {
+    IOLAP_ASSERT_OK(appender.Append(Rec{i, -i}));
+  }
+  appender.Close();
+  auto cursor = file.Scan(pool_);
+  int64_t expect = 0;
+  Rec r;
+  while (!cursor.done()) {
+    IOLAP_ASSERT_OK(cursor.Next(&r));
+    EXPECT_EQ(r.key, expect);
+    ++expect;
+  }
+  EXPECT_EQ(expect, n);
+}
+
+TEST_F(PagedFileTest, CursorSubrange) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto file, TypedFile<Rec>::Create(disk_, "t"));
+  for (int64_t i = 0; i < 100; ++i) {
+    IOLAP_ASSERT_OK(file.Append(pool_, Rec{i, 0}));
+  }
+  auto cursor = file.Scan(pool_, 40, 60);
+  Rec r;
+  int64_t count = 0;
+  while (!cursor.done()) {
+    IOLAP_ASSERT_OK(cursor.Next(&r));
+    EXPECT_EQ(r.key, 40 + count);
+    ++count;
+  }
+  EXPECT_EQ(count, 20);
+}
+
+TEST_F(PagedFileTest, MutableScanReadModifyWrite) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto file, TypedFile<Rec>::Create(disk_, "t"));
+  const int64_t n = 2 * TypedFile<Rec>::kRecordsPerPage;
+  for (int64_t i = 0; i < n; ++i) {
+    IOLAP_ASSERT_OK(file.Append(pool_, Rec{i, 0}));
+  }
+  auto cursor = file.MutableScan(pool_);
+  Rec r;
+  while (!cursor.done()) {
+    IOLAP_ASSERT_OK(cursor.Read(&r));
+    r.payload = r.key * 10;
+    IOLAP_ASSERT_OK(cursor.Write(r));
+    cursor.Advance();
+  }
+  IOLAP_ASSERT_OK(pool_.FlushAll());
+  for (int64_t i = 0; i < n; i += 97) {
+    IOLAP_ASSERT_OK_AND_ASSIGN(Rec got, file.Get(pool_, i));
+    EXPECT_EQ(got.payload, i * 10);
+  }
+}
+
+TEST_F(PagedFileTest, ReadOnlyCursorRejectsWrite) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto file, TypedFile<Rec>::Create(disk_, "t"));
+  IOLAP_ASSERT_OK(file.Append(pool_, Rec{1, 1}));
+  auto cursor = file.Scan(pool_);
+  EXPECT_EQ(cursor.Write(Rec{2, 2}).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PagedFileTest, ScanPinsOnePageAtATime) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto file, TypedFile<Rec>::Create(disk_, "t"));
+  const int64_t n = 10 * TypedFile<Rec>::kRecordsPerPage;
+  auto appender = file.MakeAppender(pool_);
+  for (int64_t i = 0; i < n; ++i) IOLAP_ASSERT_OK(appender.Append(Rec{i, 0}));
+  appender.Close();
+  IOLAP_ASSERT_OK(pool_.EvictFile(file.file_id()));
+
+  // A tiny pool (2 frames) must still support a full scan.
+  BufferPool small(&disk_, 2);
+  auto cursor = file.Scan(small);
+  Rec r;
+  int64_t count = 0;
+  while (!cursor.done()) {
+    IOLAP_ASSERT_OK(cursor.Next(&r));
+    ++count;
+  }
+  EXPECT_EQ(count, n);
+  EXPECT_EQ(small.stats().misses, 10);  // one per page, no re-reads
+}
+
+TEST_F(PagedFileTest, AppenderMatchesPerRecordAppend) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto a, TypedFile<Rec>::Create(disk_, "a"));
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto b, TypedFile<Rec>::Create(disk_, "b"));
+  auto appender = a.MakeAppender(pool_);
+  for (int64_t i = 0; i < 600; ++i) {
+    IOLAP_ASSERT_OK(appender.Append(Rec{i, i + 1}));
+    IOLAP_ASSERT_OK(b.Append(pool_, Rec{i, i + 1}));
+  }
+  appender.Close();
+  ASSERT_EQ(a.size(), b.size());
+  for (int64_t i = 0; i < a.size(); i += 37) {
+    IOLAP_ASSERT_OK_AND_ASSIGN(Rec ra, a.Get(pool_, i));
+    IOLAP_ASSERT_OK_AND_ASSIGN(Rec rb, b.Get(pool_, i));
+    EXPECT_EQ(ra.key, rb.key);
+    EXPECT_EQ(ra.payload, rb.payload);
+  }
+}
+
+}  // namespace
+}  // namespace iolap

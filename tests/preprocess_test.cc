@@ -1,0 +1,220 @@
+#include "alloc/preprocess.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/result.h"
+#include "datagen/generator.h"
+#include "datagen/table2.h"
+#include "tests/test_util.h"
+
+namespace iolap {
+namespace {
+
+class PreprocessTest : public ::testing::Test {
+ protected:
+  PreprocessTest() : env_(MakeTempDir(), 256) {}
+  StorageEnv env_;
+};
+
+TEST_F(PreprocessTest, PaperExampleSummaryTables) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(StarSchema schema, MakePaperExampleSchema());
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto facts,
+                             MakePaperExampleFacts(env_, schema));
+  AllocationOptions options;
+  IOLAP_ASSERT_OK_AND_ASSIGN(PreparedDataset data,
+                             PrepareDataset(env_, schema, &facts, options));
+
+  EXPECT_EQ(data.num_precise_facts, 5);
+  EXPECT_EQ(data.num_imprecise_facts, 9);
+  // p1..p5 map to 5 distinct cells.
+  EXPECT_EQ(data.cells.size(), 5);
+  // Figure 3: exactly 5 imprecise summary tables.
+  ASSERT_EQ(data.tables.size(), 5u);
+
+  // The level vectors present must be exactly those of Figure 3.
+  std::set<std::pair<int, int>> vectors;
+  int64_t imprecise_total = 0;
+  for (const SummaryTableInfo& t : data.tables) {
+    vectors.insert({t.levels[0], t.levels[1]});
+    imprecise_total += t.size();
+    EXPECT_EQ(t.begin % TypedFile<ImpreciseRecord>::kRecordsPerPage, 0)
+        << "summary table segment not page-aligned";
+    EXPECT_GT(t.partition_records, 0);
+    EXPECT_GE(t.partition_pages, 1);
+  }
+  EXPECT_EQ(imprecise_total, 9);
+  std::set<std::pair<int, int>> expected = {
+      {1, 2}, {1, 3}, {2, 1}, {2, 2}, {3, 1}};
+  EXPECT_EQ(vectors, expected);
+
+  // δ(c) = 1 for every cell under EM-Count (each precise fact is unique).
+  for (int64_t i = 0; i < data.cells.size(); ++i) {
+    IOLAP_ASSERT_OK_AND_ASSIGN(CellRecord c, data.cells.Get(env_.pool(), i));
+    EXPECT_EQ(c.delta0, 1.0);
+    EXPECT_EQ(c.delta_prev, 1.0);
+  }
+
+  // Precise EDB: one row of weight 1 per precise fact.
+  EXPECT_EQ(data.precise_edb.size(), 5);
+  for (int64_t i = 0; i < 5; ++i) {
+    IOLAP_ASSERT_OK_AND_ASSIGN(EdbRecord e,
+                               data.precise_edb.Get(env_.pool(), i));
+    EXPECT_EQ(e.weight, 1.0);
+    EXPECT_GE(e.fact_id, 1);
+    EXPECT_LE(e.fact_id, 5);
+  }
+}
+
+TEST_F(PreprocessTest, CellsAggregateDuplicatePreciseFacts) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(StarSchema schema, MakePaperExampleSchema());
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto facts,
+                             TypedFile<FactRecord>::Create(env_.disk(), "f"));
+  // Three facts in the same cell, one in another.
+  IOLAP_ASSERT_OK_AND_ASSIGN(NodeId ma, schema.dim(0).FindNode("MA"));
+  IOLAP_ASSERT_OK_AND_ASSIGN(NodeId ny, schema.dim(0).FindNode("NY"));
+  IOLAP_ASSERT_OK_AND_ASSIGN(NodeId civic, schema.dim(1).FindNode("Civic"));
+  for (int i = 0; i < 4; ++i) {
+    FactRecord f;
+    f.fact_id = i + 1;
+    f.measure = 10 * (i + 1);
+    f.node[0] = i < 3 ? ma : ny;
+    f.node[1] = civic;
+    f.level[0] = f.level[1] = 1;
+    IOLAP_ASSERT_OK(facts.Append(env_.pool(), f));
+  }
+  AllocationOptions options;
+  options.policy = PolicyKind::kMeasure;
+  IOLAP_ASSERT_OK_AND_ASSIGN(PreparedDataset data,
+                             PrepareDataset(env_, schema, &facts, options));
+  ASSERT_EQ(data.cells.size(), 2);
+  IOLAP_ASSERT_OK_AND_ASSIGN(CellRecord c0, data.cells.Get(env_.pool(), 0));
+  IOLAP_ASSERT_OK_AND_ASSIGN(CellRecord c1, data.cells.Get(env_.pool(), 1));
+  // Canonical order: MA(leaf 0) before NY(leaf 1).
+  EXPECT_EQ(c0.delta0, 10 + 20 + 30);
+  EXPECT_EQ(c1.delta0, 40);
+  EXPECT_EQ(data.precise_edb.size(), 4);
+  EXPECT_TRUE(data.tables.empty());
+}
+
+TEST_F(PreprocessTest, CellsAreCanonicallySorted) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(StarSchema schema, MakeAutomotiveSchema());
+  DatasetSpec spec;
+  spec.num_facts = 5000;
+  spec.seed = 3;
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto facts, GenerateFacts(env_, schema, spec));
+  AllocationOptions options;
+  IOLAP_ASSERT_OK_AND_ASSIGN(PreparedDataset data,
+                             PrepareDataset(env_, schema, &facts, options));
+  ASSERT_GT(data.cells.size(), 0);
+  CellRecord prev;
+  auto cursor = data.cells.Scan(env_.pool());
+  IOLAP_ASSERT_OK(cursor.Next(&prev));
+  CellRecord cur;
+  while (!cursor.done()) {
+    IOLAP_ASSERT_OK(cursor.Next(&cur));
+    bool less = false, greater = false;
+    for (int d = 0; d < schema.num_dims() && !less && !greater; ++d) {
+      if (prev.leaf[d] < cur.leaf[d]) less = true;
+      if (prev.leaf[d] > cur.leaf[d]) greater = true;
+    }
+    EXPECT_TRUE(less) << "cells out of order or duplicated";
+    prev = cur;
+  }
+  // Fences: one per page, first key matches.
+  EXPECT_EQ(static_cast<int64_t>(data.fences.size()),
+            data.cells.size_in_pages());
+}
+
+TEST_F(PreprocessTest, FirstLastBoundsAreConservative) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(StarSchema schema, MakeAutomotiveSchema());
+  DatasetSpec spec;
+  spec.num_facts = 3000;
+  spec.seed = 11;
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto facts, GenerateFacts(env_, schema, spec));
+  AllocationOptions options;
+  IOLAP_ASSERT_OK_AND_ASSIGN(PreparedDataset data,
+                             PrepareDataset(env_, schema, &facts, options));
+
+  // Load all cells for a brute-force check.
+  std::vector<CellRecord> cells;
+  {
+    auto cursor = data.cells.Scan(env_.pool());
+    CellRecord c;
+    while (!cursor.done()) {
+      IOLAP_ASSERT_OK(cursor.Next(&c));
+      cells.push_back(c);
+    }
+  }
+  for (const SummaryTableInfo& table : data.tables) {
+    auto cursor = data.imprecise.Scan(env_.pool(), table.begin, table.end);
+    ImpreciseRecord rec;
+    while (!cursor.done()) {
+      IOLAP_ASSERT_OK(cursor.Next(&rec));
+      // True first/last covered cell indexes.
+      int64_t true_first = -1, true_last = -1;
+      for (size_t i = 0; i < cells.size(); ++i) {
+        if (RegionCovers(schema, rec.node, cells[i].leaf)) {
+          if (true_first < 0) true_first = static_cast<int64_t>(i);
+          true_last = static_cast<int64_t>(i);
+        }
+      }
+      if (true_first >= 0) {
+        EXPECT_LE(rec.first, true_first);
+        EXPECT_GE(rec.last, true_last);
+      }
+    }
+  }
+}
+
+TEST_F(PreprocessTest, UniformSeedsEveryCellWithOne) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(StarSchema schema, MakePaperExampleSchema());
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto facts,
+                             MakePaperExampleFacts(env_, schema));
+  AllocationOptions options;
+  options.policy = PolicyKind::kUniform;
+  IOLAP_ASSERT_OK_AND_ASSIGN(PreparedDataset data,
+                             PrepareDataset(env_, schema, &facts, options));
+  for (int64_t i = 0; i < data.cells.size(); ++i) {
+    IOLAP_ASSERT_OK_AND_ASSIGN(CellRecord c, data.cells.Get(env_.pool(), i));
+    EXPECT_EQ(c.delta0, 1.0);  // base 1, no count/measure contribution
+  }
+}
+
+TEST_F(PreprocessTest, ImpreciseUnionDomainCoversRegions) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(StarSchema schema, MakePaperExampleSchema());
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto facts,
+                             MakePaperExampleFacts(env_, schema));
+  AllocationOptions options;
+  options.domain = CellDomain::kImpreciseUnion;
+  IOLAP_ASSERT_OK_AND_ASSIGN(PreparedDataset data,
+                             PrepareDataset(env_, schema, &facts, options));
+  // The 9 imprecise facts' regions plus 5 precise cells: p11/p12 span ALL of
+  // Location so C must include cells like (TX, Civic) with δ = 0.
+  EXPECT_GT(data.cells.size(), 5);
+  int64_t zero_delta = 0;
+  auto cursor = data.cells.Scan(env_.pool());
+  CellRecord c;
+  while (!cursor.done()) {
+    IOLAP_ASSERT_OK(cursor.Next(&c));
+    if (c.delta0 == 0) ++zero_delta;
+  }
+  EXPECT_GT(zero_delta, 0);
+}
+
+TEST_F(PreprocessTest, ImpreciseUnionRespectsBudget) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(StarSchema schema, MakePaperExampleSchema());
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto facts,
+                             MakePaperExampleFacts(env_, schema));
+  AllocationOptions options;
+  options.domain = CellDomain::kImpreciseUnion;
+  options.max_domain_cells = 3;
+  Result<PreparedDataset> data = PrepareDataset(env_, schema, &facts, options);
+  EXPECT_FALSE(data.ok());
+  EXPECT_EQ(data.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace iolap

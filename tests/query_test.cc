@@ -1,0 +1,211 @@
+#include "edb/query.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "alloc/allocator.h"
+#include "common/result.h"
+#include "datagen/generator.h"
+#include "datagen/table2.h"
+#include "tests/test_util.h"
+
+namespace iolap {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  QueryTest() : env_(MakeTempDir(), 64) {}
+
+  void SetUp() override {
+    IOLAP_ASSERT_OK_AND_ASSIGN(schema_, MakePaperExampleSchema());
+    IOLAP_ASSERT_OK_AND_ASSIGN(facts_, MakePaperExampleFacts(env_, schema_));
+    // Keep an unconsumed copy of the facts for baseline semantics.
+    IOLAP_ASSERT_OK_AND_ASSIGN(original_,
+                               MakePaperExampleFacts(env_, schema_));
+    AllocationOptions options;
+    options.policy = PolicyKind::kUniform;
+    IOLAP_ASSERT_OK_AND_ASSIGN(result_,
+                               Allocator::Run(env_, schema_, &facts_, options));
+  }
+
+  StorageEnv env_;
+  StarSchema schema_;
+  TypedFile<FactRecord> facts_;
+  TypedFile<FactRecord> original_;
+  AllocationResult result_;
+};
+
+TEST_F(QueryTest, GlobalSumIsConserved) {
+  QueryEngine engine(&env_, &schema_, &result_.edb, &original_);
+  IOLAP_ASSERT_OK_AND_ASSIGN(
+      AggregateResult total,
+      engine.Aggregate(QueryRegion::All(), AggregateFunc::kSum));
+  // Allocation preserves total mass: the sum over all cells equals the sum
+  // of all fact measures (no fact is unallocatable in the example).
+  double expected = 100 + 150 + 100 + 175 + 50 + 100 + 120 + 160 + 190 + 200 +
+                    80 + 120 + 70 + 90;
+  EXPECT_NEAR(total.value, expected, 1e-9);
+  IOLAP_ASSERT_OK_AND_ASSIGN(
+      AggregateResult count,
+      engine.Aggregate(QueryRegion::All(), AggregateFunc::kCount));
+  EXPECT_NEAR(count.value, 14.0, 1e-9);
+}
+
+TEST_F(QueryTest, RegionalSumUnderUniformAllocation) {
+  QueryEngine engine(&env_, &schema_, &result_.edb, &original_);
+  IOLAP_ASSERT_OK_AND_ASSIGN(NodeId west, schema_.dim(0).FindNode("West"));
+  QueryRegion west_region = QueryRegion::All().With(0, west);
+  IOLAP_ASSERT_OK_AND_ASSIGN(
+      AggregateResult sum,
+      engine.Aggregate(west_region, AggregateFunc::kSum));
+  // Precise West facts: p4(175), p5(50). Imprecise facts with cells in the
+  // West under uniform allocation over precise cells:
+  //  p8 (CA,ALL): both cells West -> 160
+  //  p10 (West,Sedan): covers only (CA,Civic) -> 200
+  //  p11 (ALL,Civic): half to (CA,Civic) -> 40
+  //  p12 (ALL,F150): covers only (NY,F150) -> 0
+  //  p13 (West,Civic) -> 70, p14 (West,Sierra) -> 90
+  double expected = 175 + 50 + 160 + 200 + 40 + 70 + 90;
+  EXPECT_NEAR(sum.value, expected, 1e-9);
+}
+
+TEST_F(QueryTest, BaselineSemanticsBracketAllocation) {
+  QueryEngine engine(&env_, &schema_, &result_.edb, &original_);
+  IOLAP_ASSERT_OK_AND_ASSIGN(NodeId east, schema_.dim(0).FindNode("East"));
+  QueryRegion east_region = QueryRegion::All().With(0, east);
+
+  IOLAP_ASSERT_OK_AND_ASSIGN(
+      AggregateResult none,
+      engine.Aggregate(east_region, AggregateFunc::kSum,
+                       ImpreciseSemantics::kNone));
+  IOLAP_ASSERT_OK_AND_ASSIGN(
+      AggregateResult contains,
+      engine.Aggregate(east_region, AggregateFunc::kSum,
+                       ImpreciseSemantics::kContains));
+  IOLAP_ASSERT_OK_AND_ASSIGN(
+      AggregateResult overlaps,
+      engine.Aggregate(east_region, AggregateFunc::kSum,
+                       ImpreciseSemantics::kOverlaps));
+  IOLAP_ASSERT_OK_AND_ASSIGN(
+      AggregateResult allocated,
+      engine.Aggregate(east_region, AggregateFunc::kSum,
+                       ImpreciseSemantics::kAllocationWeighted));
+
+  // None counts only precise East facts: p1, p2, p3.
+  EXPECT_NEAR(none.value, 100 + 150 + 100, 1e-9);
+  // Contains adds imprecise facts fully inside East: p6, p7, p9.
+  EXPECT_NEAR(contains.value, none.value + 100 + 120 + 190, 1e-9);
+  // Overlaps adds every imprecise fact touching East (p6,p7,p9,p11,p12).
+  EXPECT_NEAR(overlaps.value, none.value + 100 + 120 + 190 + 80 + 120, 1e-9);
+  // The classical bracketing: None <= Contains <= Allocated <= Overlaps.
+  EXPECT_LE(none.value, contains.value);
+  EXPECT_LE(contains.value, allocated.value + 1e-9);
+  EXPECT_LE(allocated.value, overlaps.value + 1e-9);
+}
+
+TEST_F(QueryTest, AverageAndEmptyRegion) {
+  QueryEngine engine(&env_, &schema_, &result_.edb, &original_);
+  IOLAP_ASSERT_OK_AND_ASSIGN(NodeId tx, schema_.dim(0).FindNode("TX"));
+  // No precise fact and no allocation lands in TX (C has no TX cell).
+  QueryRegion tx_region = QueryRegion::All().With(0, tx);
+  IOLAP_ASSERT_OK_AND_ASSIGN(
+      AggregateResult avg,
+      engine.Aggregate(tx_region, AggregateFunc::kAverage));
+  EXPECT_EQ(avg.value, 0);
+  EXPECT_EQ(avg.count, 0);
+
+  IOLAP_ASSERT_OK_AND_ASSIGN(
+      AggregateResult global_avg,
+      engine.Aggregate(QueryRegion::All(), AggregateFunc::kAverage));
+  EXPECT_NEAR(global_avg.value, 1705.0 / 14, 1e-9);
+}
+
+TEST_F(QueryTest, RollUpByRegionMatchesPerNodeAggregates) {
+  QueryEngine engine(&env_, &schema_, &result_.edb, &original_);
+  IOLAP_ASSERT_OK_AND_ASSIGN(
+      auto groups,
+      engine.RollUp(QueryRegion::All(), /*dim=*/0, /*level=*/2,
+                    AggregateFunc::kSum));
+  const auto& regions = schema_.dim(0).nodes_at_level(2);
+  ASSERT_EQ(groups.size(), regions.size());
+  double total = 0;
+  for (size_t i = 0; i < regions.size(); ++i) {
+    IOLAP_ASSERT_OK_AND_ASSIGN(
+        AggregateResult single,
+        engine.Aggregate(QueryRegion::All().With(0, regions[i]),
+                         AggregateFunc::kSum));
+    EXPECT_NEAR(groups[i].value, single.value, 1e-9)
+        << schema_.dim(0).name(regions[i]);
+    total += groups[i].value;
+  }
+  EXPECT_NEAR(total, 1705.0, 1e-9);  // rollup partitions the grand total
+}
+
+TEST_F(QueryTest, RollUpRespectsOuterRegion) {
+  QueryEngine engine(&env_, &schema_, &result_.edb, &original_);
+  IOLAP_ASSERT_OK_AND_ASSIGN(NodeId truck, schema_.dim(1).FindNode("Truck"));
+  // Repairs per state, trucks only.
+  IOLAP_ASSERT_OK_AND_ASSIGN(
+      auto groups,
+      engine.RollUp(QueryRegion::All().With(1, truck), /*dim=*/0,
+                    /*level=*/1, AggregateFunc::kCount));
+  ASSERT_EQ(groups.size(), 4u);  // MA, NY, TX, CA
+  IOLAP_ASSERT_OK_AND_ASSIGN(
+      AggregateResult all_trucks,
+      engine.Aggregate(QueryRegion::All().With(1, truck),
+                       AggregateFunc::kCount));
+  double total = 0;
+  for (const AggregateResult& g : groups) total += g.value;
+  EXPECT_NEAR(total, all_trucks.value, 1e-9);
+}
+
+TEST_F(QueryTest, RollUpRejectsBadArguments) {
+  QueryEngine engine(&env_, &schema_, &result_.edb, &original_);
+  EXPECT_FALSE(
+      engine.RollUp(QueryRegion::All(), 7, 1, AggregateFunc::kSum).ok());
+  EXPECT_FALSE(
+      engine.RollUp(QueryRegion::All(), 0, 9, AggregateFunc::kSum).ok());
+}
+
+TEST_F(QueryTest, ProvenanceQueries) {
+  QueryEngine engine(&env_, &schema_, &result_.edb, &original_);
+  // p8 (CA, ALL) completes to (CA,Civic) and (CA,Sierra) under Uniform.
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto completions, engine.CompletionsOf(8));
+  ASSERT_EQ(completions.size(), 2u);
+  double sum = 0;
+  for (const EdbRecord& rec : completions) {
+    EXPECT_EQ(rec.fact_id, 8);
+    EXPECT_EQ(rec.leaf[0], 3);  // CA
+    sum += rec.weight;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // A precise fact has exactly one completion of weight 1.
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto precise, engine.CompletionsOf(1));
+  ASSERT_EQ(precise.size(), 1u);
+  EXPECT_EQ(precise[0].weight, 1.0);
+  // Unknown fact: empty.
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto none, engine.CompletionsOf(999));
+  EXPECT_TRUE(none.empty());
+
+  // FactsIn: everything that lands in the (NY, F150) cell.
+  IOLAP_ASSERT_OK_AND_ASSIGN(NodeId ny, schema_.dim(0).FindNode("NY"));
+  IOLAP_ASSERT_OK_AND_ASSIGN(NodeId f150, schema_.dim(1).FindNode("F150"));
+  IOLAP_ASSERT_OK_AND_ASSIGN(
+      auto rows, engine.FactsIn(QueryRegion::All().With(0, ny).With(1, f150)));
+  std::set<FactId> ids;
+  for (const EdbRecord& rec : rows) ids.insert(rec.fact_id);
+  // Precise p3 plus imprecise p9 (East,Truck) and p12 (ALL,F150).
+  EXPECT_EQ(ids, (std::set<FactId>{3, 9, 12}));
+}
+
+TEST_F(QueryTest, BaselineRequiresFactTable) {
+  QueryEngine engine(&env_, &schema_, &result_.edb);
+  Result<AggregateResult> r = engine.Aggregate(
+      QueryRegion::All(), AggregateFunc::kSum, ImpreciseSemantics::kContains);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace iolap

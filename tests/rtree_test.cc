@@ -1,0 +1,181 @@
+#include "rtree/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace iolap {
+namespace {
+
+Rect MakeRect2(int32_t x0, int32_t y0, int32_t x1, int32_t y1) {
+  Rect r;
+  r.lo[0] = x0;
+  r.lo[1] = y0;
+  r.hi[0] = x1;
+  r.hi[1] = y1;
+  return r;
+}
+
+TEST(RectTest, IntersectAndContain) {
+  Rect a = MakeRect2(0, 0, 10, 10);
+  Rect b = MakeRect2(5, 5, 15, 15);
+  Rect c = MakeRect2(11, 0, 12, 10);
+  EXPECT_TRUE(RectsIntersect(a, b, 2));
+  EXPECT_FALSE(RectsIntersect(a, c, 2));
+  EXPECT_TRUE(RectsIntersect(b, c, 2));
+  EXPECT_TRUE(RectContains(a, MakeRect2(2, 3, 4, 5), 2));
+  EXPECT_FALSE(RectContains(a, b, 2));
+  // Touching edges count as intersecting (inclusive bounds).
+  EXPECT_TRUE(RectsIntersect(a, MakeRect2(10, 10, 20, 20), 2));
+}
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree(2);
+  std::vector<int64_t> hits;
+  tree.Search(MakeRect2(0, 0, 100, 100), &hits);
+  EXPECT_TRUE(hits.empty());
+  EXPECT_EQ(tree.size(), 0);
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_FALSE(tree.Remove(MakeRect2(0, 0, 1, 1), 7));
+}
+
+TEST(RTreeTest, InsertAndPointSearch) {
+  RTree tree(2, 4);
+  for (int i = 0; i < 20; ++i) {
+    tree.Insert(MakeRect2(i * 10, 0, i * 10 + 5, 5), i);
+  }
+  EXPECT_EQ(tree.size(), 20);
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_GT(tree.height(), 1);
+  std::vector<int64_t> hits;
+  tree.Search(MakeRect2(52, 1, 53, 2), &hits);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 5);
+}
+
+TEST(RTreeTest, OverlappingBoxesAllFound) {
+  RTree tree(2, 4);
+  // 10 boxes all overlapping the origin.
+  for (int i = 0; i < 10; ++i) {
+    tree.Insert(MakeRect2(-i, -i, i, i), i);
+  }
+  std::vector<int64_t> hits;
+  tree.Search(MakeRect2(0, 0, 0, 0), &hits);
+  EXPECT_EQ(hits.size(), 10u);
+}
+
+TEST(RTreeTest, RemoveMaintainsInvariants) {
+  RTree tree(2, 4);
+  for (int i = 0; i < 50; ++i) {
+    tree.Insert(MakeRect2(i, i, i + 2, i + 2), i);
+  }
+  for (int i = 0; i < 50; i += 2) {
+    EXPECT_TRUE(tree.Remove(MakeRect2(i, i, i + 2, i + 2), i)) << i;
+    EXPECT_TRUE(tree.CheckInvariants()) << "after removing " << i;
+  }
+  EXPECT_EQ(tree.size(), 25);
+  // Removed entries are gone, remaining are findable.
+  for (int i = 0; i < 50; ++i) {
+    std::vector<int64_t> hits;
+    tree.Search(MakeRect2(i, i, i, i), &hits);
+    bool found = std::find(hits.begin(), hits.end(), i) != hits.end();
+    EXPECT_EQ(found, i % 2 == 1) << i;
+  }
+  EXPECT_FALSE(tree.Remove(MakeRect2(0, 0, 2, 2), 0));  // already gone
+}
+
+TEST(RTreeTest, SearchCountsNodeAccesses) {
+  RTree tree(2, 8);
+  for (int i = 0; i < 100; ++i) {
+    tree.Insert(MakeRect2(i, 0, i, 0), i);
+  }
+  tree.ResetStats();
+  std::vector<int64_t> hits;
+  tree.Search(MakeRect2(5, 0, 6, 0), &hits);
+  EXPECT_GT(tree.nodes_accessed(), 0);
+  EXPECT_LT(tree.nodes_accessed(), 30);  // far fewer than a full scan
+}
+
+// Randomized differential test against brute force, across fan-outs and
+// dimensionalities.
+class RTreeRandomized : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(RTreeRandomized, MatchesBruteForce) {
+  auto [dims, fanout] = GetParam();
+  Rng rng(dims * 100 + fanout);
+  RTree tree(dims, fanout);
+  struct Item {
+    Rect rect;
+    int64_t id;
+    bool alive;
+  };
+  std::vector<Item> items;
+  int64_t next_id = 0;
+
+  for (int step = 0; step < 600; ++step) {
+    double action = rng.NextDouble();
+    if (action < 0.6 || items.empty()) {
+      Rect r;
+      for (int d = 0; d < dims; ++d) {
+        int32_t a = static_cast<int32_t>(rng.Uniform(200));
+        int32_t b = a + static_cast<int32_t>(rng.Uniform(30));
+        r.lo[d] = a;
+        r.hi[d] = b;
+      }
+      tree.Insert(r, next_id);
+      items.push_back(Item{r, next_id, true});
+      ++next_id;
+    } else if (action < 0.8) {
+      // Remove a random live item.
+      std::vector<size_t> live;
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (items[i].alive) live.push_back(i);
+      }
+      if (!live.empty()) {
+        size_t pick = live[rng.Uniform(live.size())];
+        EXPECT_TRUE(tree.Remove(items[pick].rect, items[pick].id));
+        items[pick].alive = false;
+      }
+    } else {
+      // Query and compare with brute force.
+      Rect q;
+      for (int d = 0; d < dims; ++d) {
+        int32_t a = static_cast<int32_t>(rng.Uniform(220));
+        int32_t b = a + static_cast<int32_t>(rng.Uniform(60));
+        q.lo[d] = a;
+        q.hi[d] = b;
+      }
+      std::vector<int64_t> hits;
+      tree.Search(q, &hits);
+      std::set<int64_t> got(hits.begin(), hits.end());
+      EXPECT_EQ(got.size(), hits.size()) << "duplicate search results";
+      std::set<int64_t> want;
+      for (const Item& item : items) {
+        if (item.alive && RectsIntersect(item.rect, q, dims)) {
+          want.insert(item.id);
+        }
+      }
+      EXPECT_EQ(got, want);
+    }
+    if (step % 100 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants()) << "at step " << step;
+    }
+  }
+  ASSERT_TRUE(tree.CheckInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndFanouts, RTreeRandomized,
+    ::testing::Combine(::testing::Values(1, 2, 4), ::testing::Values(4, 16)),
+    [](const auto& info) {
+      return "d" + std::to_string(std::get<0>(info.param)) + "_f" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace iolap

@@ -1,0 +1,141 @@
+// Stress the dimensionality boundary: kMaxDims = 6 dimensions with deep
+// hierarchies, end to end through preprocessing, every algorithm, queries
+// and maintenance.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "alloc/allocator.h"
+#include "common/result.h"
+#include "datagen/generator.h"
+#include "edb/maintenance.h"
+#include "edb/query.h"
+#include "tests/test_util.h"
+
+namespace iolap {
+namespace {
+
+StarSchema MakeSixDimSchema() {
+  std::vector<Hierarchy> dims;
+  const std::vector<std::vector<int>> shapes = {
+      {2, 2}, {3, 2}, {2, 3}, {2, 2, 2}, {4}, {2, 2},
+  };
+  for (size_t d = 0; d < shapes.size(); ++d) {
+    auto h = HierarchyBuilder::Uniform("D" + std::to_string(d), shapes[d]);
+    EXPECT_TRUE(h.ok());
+    dims.push_back(std::move(h).value());
+  }
+  auto schema = StarSchema::Create(std::move(dims));
+  EXPECT_TRUE(schema.ok());
+  return std::move(schema).value();
+}
+
+TEST(SixDimsTest, SchemaRejectsSevenDims) {
+  std::vector<Hierarchy> dims;
+  for (int d = 0; d < 7; ++d) {
+    IOLAP_ASSERT_OK_AND_ASSIGN(
+        Hierarchy h, HierarchyBuilder::Uniform("D" + std::to_string(d), {2}));
+    dims.push_back(std::move(h));
+  }
+  EXPECT_EQ(StarSchema::Create(std::move(dims)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SixDimsTest, AlgorithmsAgreeInSixDimensions) {
+  StarSchema schema = MakeSixDimSchema();
+  using Key = std::pair<FactId, std::array<int32_t, kMaxDims>>;
+  std::map<Key, double> reference;
+  bool first = true;
+  for (AlgorithmKind algo :
+       {AlgorithmKind::kBasic, AlgorithmKind::kIndependent,
+        AlgorithmKind::kBlock, AlgorithmKind::kTransitive}) {
+    StorageEnv env(MakeTempDir(), 16);
+    DatasetSpec spec;
+    spec.num_facts = 400;
+    spec.imprecise_fraction = 0.45;
+    spec.allow_all = true;
+    spec.seed = 11;
+    IOLAP_ASSERT_OK_AND_ASSIGN(auto facts, GenerateFacts(env, schema, spec));
+    AllocationOptions options;
+    options.algorithm = algo;
+    options.epsilon = 0;
+    options.max_iterations = 4;
+    options.early_convergence = false;
+    IOLAP_ASSERT_OK_AND_ASSIGN(AllocationResult result,
+                               Allocator::Run(env, schema, &facts, options));
+    std::map<Key, double> edb;
+    auto cursor = result.edb.Scan(env.pool());
+    EdbRecord rec;
+    while (!cursor.done()) {
+      IOLAP_ASSERT_OK(cursor.Next(&rec));
+      std::array<int32_t, kMaxDims> key{};
+      std::memcpy(key.data(), rec.leaf, sizeof(rec.leaf));
+      edb[{rec.fact_id, key}] = rec.weight;
+    }
+    if (first) {
+      reference = edb;
+      first = false;
+      EXPECT_FALSE(edb.empty());
+    } else {
+      ASSERT_EQ(edb.size(), reference.size()) << AlgorithmName(algo);
+      for (const auto& [key, weight] : reference) {
+        ASSERT_NE(edb.find(key), edb.end()) << AlgorithmName(algo);
+        EXPECT_NEAR(edb.at(key), weight, 1e-9) << AlgorithmName(algo);
+      }
+    }
+  }
+}
+
+TEST(SixDimsTest, QueriesAndMaintenanceWork) {
+  StarSchema schema = MakeSixDimSchema();
+  StorageEnv env(MakeTempDir(), 128);
+  DatasetSpec spec;
+  spec.num_facts = 300;
+  spec.imprecise_fraction = 0.4;
+  spec.seed = 12;
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto facts, GenerateFacts(env, schema, spec));
+  std::vector<FactRecord> raw;
+  {
+    auto cursor = facts.Scan(env.pool());
+    FactRecord f;
+    while (!cursor.done()) {
+      IOLAP_ASSERT_OK(cursor.Next(&f));
+      raw.push_back(f);
+    }
+  }
+  AllocationOptions options;
+  options.policy = PolicyKind::kMeasure;
+  IOLAP_ASSERT_OK_AND_ASSIGN(
+      auto manager, MaintenanceManager::Build(env, schema, &facts, options));
+
+  QueryEngine engine(&env, &schema, &manager->edb());
+  IOLAP_ASSERT_OK_AND_ASSIGN(
+      AggregateResult total,
+      engine.Aggregate(QueryRegion::All(), AggregateFunc::kCount));
+  EXPECT_GT(total.value, 0);
+  // Rollup over the deepest dimension at its middle level.
+  IOLAP_ASSERT_OK_AND_ASSIGN(
+      auto groups,
+      engine.RollUp(QueryRegion::All(), /*dim=*/3, /*level=*/3,
+                    AggregateFunc::kCount));
+  double sum = 0;
+  for (const auto& g : groups) sum += g.value;
+  EXPECT_NEAR(sum, total.value, 1e-9);
+
+  // Maintenance round-trip in 6 dims.
+  MaintenanceStats stats;
+  IOLAP_ASSERT_OK(
+      manager->ApplyUpdates({FactUpdate{raw[0], raw[0].measure + 5}}, &stats));
+  FactRecord insert = raw[1];
+  insert.fact_id = 99'999;
+  IOLAP_ASSERT_OK(manager->InsertFacts({insert}, &stats));
+  IOLAP_ASSERT_OK(manager->DeleteFacts({raw[2]}, &stats));
+  IOLAP_ASSERT_OK_AND_ASSIGN(
+      AggregateResult after,
+      engine.Aggregate(QueryRegion::All(), AggregateFunc::kCount));
+  EXPECT_NEAR(after.value, total.value, 1.0 + 1e-6);  // -1 fact +1 fact
+}
+
+}  // namespace
+}  // namespace iolap

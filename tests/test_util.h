@@ -1,0 +1,42 @@
+#ifndef IOLAP_TESTS_TEST_UTIL_H_
+#define IOLAP_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "common/status.h"
+
+namespace iolap {
+
+/// Creates a fresh scratch directory for a test.
+inline std::string MakeTempDir() {
+  std::string tmpl = ::testing::TempDir() + "iolap_test_XXXXXX";
+  char* dir = ::mkdtemp(tmpl.data());
+  EXPECT_NE(dir, nullptr);
+  return tmpl;
+}
+
+#define IOLAP_ASSERT_OK(expr)                                  \
+  do {                                                         \
+    const ::iolap::Status _st = (expr);                        \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                   \
+  } while (0)
+
+#define IOLAP_EXPECT_OK(expr)                                  \
+  do {                                                         \
+    const ::iolap::Status _st = (expr);                        \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                   \
+  } while (0)
+
+// Unwraps a Result<T> into `decl`, failing the test on error.
+#define IOLAP_ASSERT_OK_AND_ASSIGN(decl, expr)                        \
+  auto IOLAP_CONCAT(_assign_, __LINE__) = (expr);                     \
+  ASSERT_TRUE(IOLAP_CONCAT(_assign_, __LINE__).ok())                  \
+      << IOLAP_CONCAT(_assign_, __LINE__).status().ToString();        \
+  decl = std::move(IOLAP_CONCAT(_assign_, __LINE__)).value()
+
+}  // namespace iolap
+
+#endif  // IOLAP_TESTS_TEST_UTIL_H_
