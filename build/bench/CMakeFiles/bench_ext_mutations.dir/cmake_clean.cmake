@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_mutations.dir/bench_ext_mutations.cpp.o"
+  "CMakeFiles/bench_ext_mutations.dir/bench_ext_mutations.cpp.o.d"
+  "bench_ext_mutations"
+  "bench_ext_mutations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_mutations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5ab_inmemory.dir/bench_fig5ab_inmemory.cpp.o"
+  "CMakeFiles/bench_fig5ab_inmemory.dir/bench_fig5ab_inmemory.cpp.o.d"
+  "bench_fig5ab_inmemory"
+  "bench_fig5ab_inmemory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5ab_inmemory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5cde_auto_buffer.dir/bench_fig5cde_auto_buffer.cpp.o"
+  "CMakeFiles/bench_fig5cde_auto_buffer.dir/bench_fig5cde_auto_buffer.cpp.o.d"
+  "bench_fig5cde_auto_buffer"
+  "bench_fig5cde_auto_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5cde_auto_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig5fgh_synth_buffer.
+# This may be replaced when dependencies are built.

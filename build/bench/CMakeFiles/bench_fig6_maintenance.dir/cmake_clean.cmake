@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_maintenance.dir/bench_fig6_maintenance.cpp.o"
+  "CMakeFiles/bench_fig6_maintenance.dir/bench_fig6_maintenance.cpp.o.d"
+  "bench_fig6_maintenance"
+  "bench_fig6_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

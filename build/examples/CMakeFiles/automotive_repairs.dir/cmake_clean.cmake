@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automotive_repairs.dir/automotive_repairs.cpp.o"
+  "CMakeFiles/automotive_repairs.dir/automotive_repairs.cpp.o.d"
+  "automotive_repairs"
+  "automotive_repairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automotive_repairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for automotive_repairs.
+# This may be replaced when dependencies are built.

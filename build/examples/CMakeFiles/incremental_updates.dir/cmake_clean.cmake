@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_updates.dir/incremental_updates.cpp.o"
+  "CMakeFiles/incremental_updates.dir/incremental_updates.cpp.o.d"
+  "incremental_updates"
+  "incremental_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_comparison.dir/policy_comparison.cpp.o"
+  "CMakeFiles/policy_comparison.dir/policy_comparison.cpp.o.d"
+  "policy_comparison"
+  "policy_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

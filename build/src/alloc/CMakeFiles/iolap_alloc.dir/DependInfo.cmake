@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/allocator.cc" "src/alloc/CMakeFiles/iolap_alloc.dir/allocator.cc.o" "gcc" "src/alloc/CMakeFiles/iolap_alloc.dir/allocator.cc.o.d"
+  "/root/repo/src/alloc/basic.cc" "src/alloc/CMakeFiles/iolap_alloc.dir/basic.cc.o" "gcc" "src/alloc/CMakeFiles/iolap_alloc.dir/basic.cc.o.d"
+  "/root/repo/src/alloc/block.cc" "src/alloc/CMakeFiles/iolap_alloc.dir/block.cc.o" "gcc" "src/alloc/CMakeFiles/iolap_alloc.dir/block.cc.o.d"
+  "/root/repo/src/alloc/estimator.cc" "src/alloc/CMakeFiles/iolap_alloc.dir/estimator.cc.o" "gcc" "src/alloc/CMakeFiles/iolap_alloc.dir/estimator.cc.o.d"
+  "/root/repo/src/alloc/in_memory.cc" "src/alloc/CMakeFiles/iolap_alloc.dir/in_memory.cc.o" "gcc" "src/alloc/CMakeFiles/iolap_alloc.dir/in_memory.cc.o.d"
+  "/root/repo/src/alloc/independent.cc" "src/alloc/CMakeFiles/iolap_alloc.dir/independent.cc.o" "gcc" "src/alloc/CMakeFiles/iolap_alloc.dir/independent.cc.o.d"
+  "/root/repo/src/alloc/pass.cc" "src/alloc/CMakeFiles/iolap_alloc.dir/pass.cc.o" "gcc" "src/alloc/CMakeFiles/iolap_alloc.dir/pass.cc.o.d"
+  "/root/repo/src/alloc/preprocess.cc" "src/alloc/CMakeFiles/iolap_alloc.dir/preprocess.cc.o" "gcc" "src/alloc/CMakeFiles/iolap_alloc.dir/preprocess.cc.o.d"
+  "/root/repo/src/alloc/transitive.cc" "src/alloc/CMakeFiles/iolap_alloc.dir/transitive.cc.o" "gcc" "src/alloc/CMakeFiles/iolap_alloc.dir/transitive.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/iolap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/iolap_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/iolap_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/iolap_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iolap_alloc.dir/allocator.cc.o"
+  "CMakeFiles/iolap_alloc.dir/allocator.cc.o.d"
+  "CMakeFiles/iolap_alloc.dir/basic.cc.o"
+  "CMakeFiles/iolap_alloc.dir/basic.cc.o.d"
+  "CMakeFiles/iolap_alloc.dir/block.cc.o"
+  "CMakeFiles/iolap_alloc.dir/block.cc.o.d"
+  "CMakeFiles/iolap_alloc.dir/estimator.cc.o"
+  "CMakeFiles/iolap_alloc.dir/estimator.cc.o.d"
+  "CMakeFiles/iolap_alloc.dir/in_memory.cc.o"
+  "CMakeFiles/iolap_alloc.dir/in_memory.cc.o.d"
+  "CMakeFiles/iolap_alloc.dir/independent.cc.o"
+  "CMakeFiles/iolap_alloc.dir/independent.cc.o.d"
+  "CMakeFiles/iolap_alloc.dir/pass.cc.o"
+  "CMakeFiles/iolap_alloc.dir/pass.cc.o.d"
+  "CMakeFiles/iolap_alloc.dir/preprocess.cc.o"
+  "CMakeFiles/iolap_alloc.dir/preprocess.cc.o.d"
+  "CMakeFiles/iolap_alloc.dir/transitive.cc.o"
+  "CMakeFiles/iolap_alloc.dir/transitive.cc.o.d"
+  "libiolap_alloc.a"
+  "libiolap_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iolap_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iolap_common.dir/status.cc.o"
+  "CMakeFiles/iolap_common.dir/status.cc.o.d"
+  "libiolap_common.a"
+  "libiolap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iolap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

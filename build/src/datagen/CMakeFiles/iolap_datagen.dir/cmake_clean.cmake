@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iolap_datagen.dir/generator.cc.o"
+  "CMakeFiles/iolap_datagen.dir/generator.cc.o.d"
+  "CMakeFiles/iolap_datagen.dir/table2.cc.o"
+  "CMakeFiles/iolap_datagen.dir/table2.cc.o.d"
+  "libiolap_datagen.a"
+  "libiolap_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iolap_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

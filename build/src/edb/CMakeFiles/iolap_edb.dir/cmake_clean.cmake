@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iolap_edb.dir/maintenance.cc.o"
+  "CMakeFiles/iolap_edb.dir/maintenance.cc.o.d"
+  "CMakeFiles/iolap_edb.dir/query.cc.o"
+  "CMakeFiles/iolap_edb.dir/query.cc.o.d"
+  "libiolap_edb.a"
+  "libiolap_edb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iolap_edb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

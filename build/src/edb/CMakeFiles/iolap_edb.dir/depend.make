@@ -1,0 +1,2 @@
+# Empty dependencies file for iolap_edb.
+# This may be replaced when dependencies are built.

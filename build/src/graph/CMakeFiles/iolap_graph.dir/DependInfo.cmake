@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bin_packing.cc" "src/graph/CMakeFiles/iolap_graph.dir/bin_packing.cc.o" "gcc" "src/graph/CMakeFiles/iolap_graph.dir/bin_packing.cc.o.d"
+  "/root/repo/src/graph/chain_cover.cc" "src/graph/CMakeFiles/iolap_graph.dir/chain_cover.cc.o" "gcc" "src/graph/CMakeFiles/iolap_graph.dir/chain_cover.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/iolap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/iolap_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iolap_graph.dir/bin_packing.cc.o"
+  "CMakeFiles/iolap_graph.dir/bin_packing.cc.o.d"
+  "CMakeFiles/iolap_graph.dir/chain_cover.cc.o"
+  "CMakeFiles/iolap_graph.dir/chain_cover.cc.o.d"
+  "libiolap_graph.a"
+  "libiolap_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iolap_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iolap_io.dir/csv.cc.o"
+  "CMakeFiles/iolap_io.dir/csv.cc.o.d"
+  "libiolap_io.a"
+  "libiolap_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iolap_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

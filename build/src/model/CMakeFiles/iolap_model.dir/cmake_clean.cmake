@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iolap_model.dir/hierarchy.cc.o"
+  "CMakeFiles/iolap_model.dir/hierarchy.cc.o.d"
+  "libiolap_model.a"
+  "libiolap_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iolap_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtree/paged_rtree.cc" "src/rtree/CMakeFiles/iolap_rtree.dir/paged_rtree.cc.o" "gcc" "src/rtree/CMakeFiles/iolap_rtree.dir/paged_rtree.cc.o.d"
+  "/root/repo/src/rtree/rtree.cc" "src/rtree/CMakeFiles/iolap_rtree.dir/rtree.cc.o" "gcc" "src/rtree/CMakeFiles/iolap_rtree.dir/rtree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/iolap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/iolap_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/iolap_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iolap_rtree.dir/paged_rtree.cc.o"
+  "CMakeFiles/iolap_rtree.dir/paged_rtree.cc.o.d"
+  "CMakeFiles/iolap_rtree.dir/rtree.cc.o"
+  "CMakeFiles/iolap_rtree.dir/rtree.cc.o.d"
+  "libiolap_rtree.a"
+  "libiolap_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iolap_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iolap_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/iolap_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/iolap_storage.dir/disk_manager.cc.o"
+  "CMakeFiles/iolap_storage.dir/disk_manager.cc.o.d"
+  "libiolap_storage.a"
+  "libiolap_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iolap_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiolap_storage.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocator_test.dir/allocator_test.cc.o"
+  "CMakeFiles/allocator_test.dir/allocator_test.cc.o.d"
+  "allocator_test"
+  "allocator_test.pdb"
+  "allocator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

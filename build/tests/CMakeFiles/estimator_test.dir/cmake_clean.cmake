@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimator_test.dir/estimator_test.cc.o"
+  "CMakeFiles/estimator_test.dir/estimator_test.cc.o.d"
+  "estimator_test"
+  "estimator_test.pdb"
+  "estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

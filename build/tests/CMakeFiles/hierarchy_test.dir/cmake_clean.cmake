@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchy_test.dir/hierarchy_test.cc.o"
+  "CMakeFiles/hierarchy_test.dir/hierarchy_test.cc.o.d"
+  "hierarchy_test"
+  "hierarchy_test.pdb"
+  "hierarchy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

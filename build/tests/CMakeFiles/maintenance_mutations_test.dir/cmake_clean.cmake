@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maintenance_mutations_test.dir/maintenance_mutations_test.cc.o"
+  "CMakeFiles/maintenance_mutations_test.dir/maintenance_mutations_test.cc.o.d"
+  "maintenance_mutations_test"
+  "maintenance_mutations_test.pdb"
+  "maintenance_mutations_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maintenance_mutations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

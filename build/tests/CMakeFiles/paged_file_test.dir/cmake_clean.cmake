@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paged_file_test.dir/paged_file_test.cc.o"
+  "CMakeFiles/paged_file_test.dir/paged_file_test.cc.o.d"
+  "paged_file_test"
+  "paged_file_test.pdb"
+  "paged_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paged_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paged_rtree_test.dir/paged_rtree_test.cc.o"
+  "CMakeFiles/paged_rtree_test.dir/paged_rtree_test.cc.o.d"
+  "paged_rtree_test"
+  "paged_rtree_test.pdb"
+  "paged_rtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paged_rtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

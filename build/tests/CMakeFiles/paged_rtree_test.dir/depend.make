@@ -1,0 +1,2 @@
+# Empty dependencies file for paged_rtree_test.
+# This may be replaced when dependencies are built.

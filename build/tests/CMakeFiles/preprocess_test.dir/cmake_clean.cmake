@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preprocess_test.dir/preprocess_test.cc.o"
+  "CMakeFiles/preprocess_test.dir/preprocess_test.cc.o.d"
+  "preprocess_test"
+  "preprocess_test.pdb"
+  "preprocess_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preprocess_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

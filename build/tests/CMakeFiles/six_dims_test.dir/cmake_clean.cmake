@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/six_dims_test.dir/six_dims_test.cc.o"
+  "CMakeFiles/six_dims_test.dir/six_dims_test.cc.o.d"
+  "six_dims_test"
+  "six_dims_test.pdb"
+  "six_dims_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/six_dims_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

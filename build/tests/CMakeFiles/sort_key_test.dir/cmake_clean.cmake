@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_key_test.dir/sort_key_test.cc.o"
+  "CMakeFiles/sort_key_test.dir/sort_key_test.cc.o.d"
+  "sort_key_test"
+  "sort_key_test.pdb"
+  "sort_key_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_key_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/union_domain_test.dir/union_domain_test.cc.o"
+  "CMakeFiles/union_domain_test.dir/union_domain_test.cc.o.d"
+  "union_domain_test"
+  "union_domain_test.pdb"
+  "union_domain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/union_domain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iolap_cli.dir/iolap_cli.cpp.o"
+  "CMakeFiles/iolap_cli.dir/iolap_cli.cpp.o.d"
+  "iolap_cli"
+  "iolap_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iolap_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
