@@ -1,0 +1,90 @@
+// Parallel-scaling extension: component-parallel Transitive allocation.
+//
+// Sweeps the worker-thread count over the Figure 5a/5b in-memory
+// configuration (buffer sized so the whole working set fits, which makes
+// the run compute-bound — the regime where component parallelism pays).
+// For each thread count we report wall-clock speedup over the serial run
+// and verify the two invariants of the parallel design:
+//
+//   * identical output — same EDB row count and edges for every thread
+//     count (the unit tests additionally check byte equality);
+//   * I/O parity — the parallel schedule must not inflate page I/O.
+//
+// The automotive-like dataset has thousands of small components and scales
+// with threads; the ALL-synthetic dataset is dominated by one giant
+// component, so its speedup is bounded by that component's serial time —
+// the same Amdahl ceiling the paper's Transitive/Block comparison hinges
+// on. (Speedup also requires physical cores: on a single-core host every
+// thread count reports ~1x.)
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace iolap;
+
+namespace {
+
+AllocationResult RunThreads(const StarSchema& schema, const DatasetSpec& spec,
+                            int64_t buffer_pages, double epsilon,
+                            int num_threads) {
+  StorageEnv env(MakeWorkDir("par_scaling"), buffer_pages);
+  TypedFile<FactRecord> facts = Unwrap(GenerateFacts(env, schema, spec));
+  AllocationOptions options;
+  options.algorithm = AlgorithmKind::kTransitive;
+  options.epsilon = epsilon;
+  options.num_threads = num_threads;
+  return Unwrap(Allocator::Run(env, schema, &facts, options));
+}
+
+void RunFigure(const StarSchema& schema, const DatasetSpec& spec,
+               int64_t buffer_pages, double epsilon, const char* title) {
+  PrintHeader(title);
+  std::printf("%-8s %10s %10s %10s %12s %12s %10s\n", "threads", "alloc_sec",
+              "speedup", "alloc_io", "edb_rows", "edges", "io_parity");
+  double serial_seconds = 0;
+  int64_t serial_io = 0, serial_rows = 0, serial_edges = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    AllocationResult r =
+        RunThreads(schema, spec, buffer_pages, epsilon, threads);
+    if (threads == 1) {
+      serial_seconds = r.alloc_seconds;
+      serial_io = r.alloc_io.total();
+      serial_rows = r.edb.size();
+      serial_edges = r.edges_emitted;
+    }
+    const bool same_output =
+        r.edb.size() == serial_rows && r.edges_emitted == serial_edges;
+    const bool io_parity = r.alloc_io.total() <= serial_io;
+    std::printf("%-8d %10.3f %9.2fx %10lld %12lld %12lld %10s%s\n", threads,
+                r.alloc_seconds,
+                r.alloc_seconds > 0 ? serial_seconds / r.alloc_seconds : 0.0,
+                static_cast<long long>(r.alloc_io.total()),
+                static_cast<long long>(r.edb.size()),
+                static_cast<long long>(r.edges_emitted),
+                io_parity ? "yes" : "NO",
+                same_output ? "" : "  OUTPUT MISMATCH");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const int64_t facts = flags.GetInt("facts", 100'000);
+  const int64_t buffer_pages =
+      flags.GetInt("buffer_pages", 4 * EstimateDataPages(facts, 0.3));
+  const double epsilon = flags.GetDouble("epsilon", 0.005);
+
+  StarSchema schema = Unwrap(MakeAutomotiveSchema());
+  std::printf("facts=%lld, buffer=%lld pages (in-memory), epsilon=%g\n",
+              static_cast<long long>(facts),
+              static_cast<long long>(buffer_pages), epsilon);
+
+  RunFigure(schema, AutomotiveLikeSpec(facts), buffer_pages, epsilon,
+            "Parallel scaling: automotive-like (many small components)");
+  RunFigure(schema, AllSyntheticSpec(facts), buffer_pages, epsilon,
+            "Parallel scaling: synthetic with ALL (giant component, "
+            "Amdahl-bound)");
+  return 0;
+}

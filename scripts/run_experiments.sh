@@ -45,6 +45,7 @@ run build/bench/bench_fig5ij_scalability $FIG5IJ
 run build/bench/bench_fig6_maintenance $FIG6
 run build/bench/bench_ablation_convergence $ABL
 run build/bench/bench_ext_mutations $MUT
+run build/bench/bench_parallel_scaling $FIG5AB
 run build/bench/bench_micro_storage
 
 echo "wrote $OUT"

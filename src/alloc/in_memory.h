@@ -15,6 +15,12 @@ namespace iolap {
 /// In-memory evaluation of the allocation equations over one (sub)graph —
 /// the Basic Algorithm (Algorithm 1), also reused by Transitive for every
 /// connected component that fits in the buffer.
+///
+/// Thread compatibility: an instance owns all of its mutable state (its
+/// copies of the cells and entries, the edge lists, and the Δ/Γ values) and
+/// only reads the shared `schema`, so distinct instances may run
+/// concurrently on different threads — the parallel Transitive path runs
+/// one per in-flight component. A single instance is not thread-safe.
 class MemoryAllocator {
  public:
   /// `cells` must be sorted in canonical order. `entries` may come from any

@@ -85,6 +85,14 @@ struct AllocationOptions {
   /// Cap on |C| when domain == kImpreciseUnion (region unions can explode).
   int64_t max_domain_cells = 50'000'000;
 
+  /// Transitive only: worker threads for component-parallel allocation.
+  /// Components are disjoint subgraphs, so their floating-point results are
+  /// scheduling-independent, and the scheduler emits EDB rows in strict
+  /// component order — any value here produces a byte-identical EDB.
+  /// 1 (the default) is exactly the serial algorithm; values are clamped to
+  /// what the buffer pool can pin concurrently.
+  int num_threads = 1;
+
   /// δ(c) contribution of one precise fact under this policy.
   double DeltaContribution(const FactRecord& fact) const {
     switch (policy) {

@@ -1,9 +1,13 @@
 #include <algorithm>
 #include <cstring>
 #include <limits>
+#include <memory>
+#include <vector>
 
 #include "alloc/algorithms.h"
 #include "alloc/in_memory.h"
+#include "exec/parallel_scheduler.h"
+#include "exec/thread_pool.h"
 #include "graph/bin_packing.h"
 #include "graph/union_find.h"
 #include "model/sort_key.h"
@@ -41,6 +45,135 @@ struct Bbox {
     }
     empty = false;
   }
+};
+
+// ---------------------------------------------------------------------------
+// Per-component processing, split from the orchestration loop so the
+// parallel scheduler can run in-memory components on worker threads.
+
+/// Loads one component's cell/entry segments into memory through the
+/// (thread-safe) buffer pool. Safe to call from worker threads: it only
+/// reads the component-sorted files and touches state owned by the caller.
+Status LoadComponent(BufferPool& pool, const PreparedDataset& data,
+                     const ComponentInfo& info, std::vector<CellRecord>* cells,
+                     std::vector<ImpreciseRecord>* entries) {
+  cells->reserve(info.cell_end - info.cell_begin);
+  {
+    auto cur = data.cells.Scan(pool, info.cell_begin, info.cell_end);
+    CellRecord c;
+    while (!cur.done()) {
+      IOLAP_RETURN_IF_ERROR(cur.Next(&c));
+      cells->push_back(c);
+    }
+  }
+  entries->reserve(info.entry_end - info.entry_begin);
+  {
+    auto cur = data.imprecise.Scan(pool, info.entry_begin, info.entry_end);
+    ImpreciseRecord e;
+    while (!cur.done()) {
+      IOLAP_RETURN_IF_ERROR(cur.Next(&e));
+      entries->push_back(e);
+    }
+  }
+  return Status::Ok();
+}
+
+/// EM-converges one in-memory component. Returns the iterations executed.
+int ConvergeComponent(MemoryAllocator* ma, const AllocationOptions& options) {
+  return ma->Iterate(options.epsilon, options.EffectiveMaxIterations(),
+                     /*force_all_iterations=*/
+                     !options.early_convergence &&
+                         options.policy != PolicyKind::kUniform);
+}
+
+/// Processes one component that exceeds the memory budget with external
+/// Block passes over its segments. Needs the whole buffer pool; always runs
+/// on the orchestration thread, with no in-memory component in flight.
+/// Emits directly to `appender`.
+Status RunExternalComponent(StorageEnv& env, const StarSchema& schema,
+                            PreparedDataset* data,
+                            const AllocationOptions& options,
+                            const SpecComparator& canonical,
+                            const ComponentInfo& info,
+                            TypedFile<EdbRecord>::Appender* appender,
+                            AllocationResult* result, int* iterations) {
+  BufferPool& pool = env.pool();
+  const int max_iterations = options.EffectiveMaxIterations();
+
+  // Discover the per-table subsegments (entries are sorted by table
+  // within the component).
+  std::vector<TableSegment> segments;
+  {
+    auto cur = data->imprecise.Scan(pool, info.entry_begin, info.entry_end);
+    ImpreciseRecord e;
+    int64_t index = info.entry_begin;
+    while (!cur.done()) {
+      IOLAP_RETURN_IF_ERROR(cur.Next(&e));
+      if (segments.empty() || segments.back().table != e.table) {
+        if (!segments.empty()) segments.back().end = index;
+        segments.push_back(TableSegment{index, index, e.table});
+      }
+      ++index;
+    }
+    if (!segments.empty()) segments.back().end = index;
+  }
+  std::vector<int64_t> sizes;
+  for (const TableSegment& seg : segments) {
+    sizes.push_back(data->tables[seg.table].partition_pages);
+  }
+  PackingResult packed = FirstFitDecreasing(
+      sizes, std::max<int64_t>(1, env.buffer_pages() - 4));
+  std::vector<std::vector<TableSegment>> comp_groups(packed.num_bins);
+  for (size_t i = 0; i < segments.size(); ++i) {
+    comp_groups[packed.bin_of[i]].push_back(segments[i]);
+  }
+
+  PassEngine engine(&pool, &schema, &data->cells, &data->imprecise,
+                    &canonical);
+  engine.SetCellRange(info.cell_begin, info.cell_end);
+  for (int t = 1; t <= max_iterations; ++t) {
+    for (const auto& g : comp_groups) {
+      IOLAP_RETURN_IF_ERROR(engine.RunGamma(g));
+    }
+    double max_eps = 0;
+    for (size_t g = 0; g < comp_groups.size(); ++g) {
+      IOLAP_RETURN_IF_ERROR(engine.RunDelta(comp_groups[g], g == 0,
+                                            g + 1 == comp_groups.size(),
+                                            &max_eps));
+    }
+    *iterations = t;
+    if (options.early_convergence && max_eps < options.epsilon) break;
+  }
+  // Emission for this component.
+  for (const auto& g : comp_groups) {
+    IOLAP_RETURN_IF_ERROR(engine.RunGamma(g));
+  }
+  EmitStats stats;
+  for (const auto& g : comp_groups) {
+    IOLAP_RETURN_IF_ERROR(engine.RunEmit(g, appender, &stats));
+  }
+  result->edges_emitted += stats.edges_emitted;
+  result->unallocatable_facts += stats.unallocatable_facts;
+  result->peak_window_records =
+      std::max(result->peak_window_records, engine.peak_window_records());
+  return Status::Ok();
+}
+
+/// Computed output of one in-memory component, filled on a worker thread
+/// and drained in strict component order by the orchestrator.
+struct ComponentOutput {
+  std::vector<EdbRecord> rows;
+  int iterations = 0;
+  int64_t unallocatable = 0;
+};
+
+/// One pooled scheduling unit: a contiguous run of in-memory components
+/// batched by cost so tiny components amortize task overhead.
+struct ComponentBatch {
+  std::vector<ComponentInfo>* info_source = nullptr;  // the directory
+  std::vector<size_t> dir_index;  // indexes into the component directory
+  std::vector<ComponentOutput> outputs;
+  int64_t cost = 0;  // cells + entries across the batch
 };
 
 }  // namespace
@@ -154,125 +287,173 @@ Status RunTransitive(StorageEnv& env, const StarSchema& schema,
     }
   }
 
-  // ---- Step 3b: process each component to convergence and emit.
+  // ---- Step 3b: process each component to convergence and emit, in
+  // strict component order. Compute runs serially or component-parallel
+  // (options.num_threads); emission order — and therefore the EDB bytes —
+  // is identical either way, because components are disjoint subgraphs
+  // whose floating-point results do not depend on scheduling.
   const int64_t cell_rpp = TypedFile<CellRecord>::kRecordsPerPage;
   const int64_t imp_rpp = TypedFile<ImpreciseRecord>::kRecordsPerPage;
   const int64_t budget_records_limit =
       std::max<int64_t>(1, env.buffer_pages() - 2);
   auto appender = result->edb.MakeAppender(pool);
-  const int max_iterations = options.EffectiveMaxIterations();
 
-  for (ComponentInfo& info : dir) {
-    info.edb_begin = result->edb.size();
-    const int64_t pages =
-        (info.cell_end - info.cell_begin + cell_rpp - 1) / cell_rpp +
-        (info.entry_end - info.entry_begin + imp_rpp - 1) / imp_rpp;
+  auto pages_of = [&](const ComponentInfo& info) {
+    return (info.cell_end - info.cell_begin + cell_rpp - 1) / cell_rpp +
+           (info.entry_end - info.entry_begin + imp_rpp - 1) / imp_rpp;
+  };
+  // Census bookkeeping shared by the serial and parallel paths; called in
+  // component order.
+  auto account = [&](const ComponentInfo& info, int iterations) {
     result->components.largest_component =
         std::max(result->components.largest_component, info.tuples());
     ++result->components.num_components;
-
-    int iterations = 0;
-    if (pages <= budget_records_limit) {
-      // Small component: read into memory, run Basic to convergence.
-      std::vector<CellRecord> cells;
-      cells.reserve(info.cell_end - info.cell_begin);
-      {
-        auto cur = data->cells.Scan(pool, info.cell_begin, info.cell_end);
-        CellRecord c;
-        while (!cur.done()) {
-          IOLAP_RETURN_IF_ERROR(cur.Next(&c));
-          cells.push_back(c);
-        }
-      }
-      std::vector<ImpreciseRecord> entries;
-      entries.reserve(info.entry_end - info.entry_begin);
-      {
-        auto cur =
-            data->imprecise.Scan(pool, info.entry_begin, info.entry_end);
-        ImpreciseRecord e;
-        while (!cur.done()) {
-          IOLAP_RETURN_IF_ERROR(cur.Next(&e));
-          entries.push_back(e);
-        }
-      }
-      MemoryAllocator ma(&schema, std::move(cells), std::move(entries));
-      iterations = ma.Iterate(options.epsilon, max_iterations,
-                              /*force_all_iterations=*/
-                              !options.early_convergence &&
-                                  options.policy != PolicyKind::kUniform);
-      IOLAP_RETURN_IF_ERROR(ma.Emit(&appender, &result->edges_emitted,
-                                    &result->unallocatable_facts));
-    } else {
-      // Large component: external Block over the component's segments.
-      ++result->components.num_large_components;
-      result->components.large_component_pages += pages;
-
-      // Discover the per-table subsegments (entries are sorted by table
-      // within the component).
-      std::vector<TableSegment> segments;
-      {
-        auto cur =
-            data->imprecise.Scan(pool, info.entry_begin, info.entry_end);
-        ImpreciseRecord e;
-        int64_t index = info.entry_begin;
-        while (!cur.done()) {
-          IOLAP_RETURN_IF_ERROR(cur.Next(&e));
-          if (segments.empty() || segments.back().table != e.table) {
-            if (!segments.empty()) segments.back().end = index;
-            segments.push_back(TableSegment{index, index, e.table});
-          }
-          ++index;
-        }
-        if (!segments.empty()) segments.back().end = index;
-      }
-      std::vector<int64_t> sizes;
-      for (const TableSegment& seg : segments) {
-        sizes.push_back(data->tables[seg.table].partition_pages);
-      }
-      PackingResult packed = FirstFitDecreasing(
-          sizes, std::max<int64_t>(1, env.buffer_pages() - 4));
-      std::vector<std::vector<TableSegment>> comp_groups(packed.num_bins);
-      for (size_t i = 0; i < segments.size(); ++i) {
-        comp_groups[packed.bin_of[i]].push_back(segments[i]);
-      }
-
-      PassEngine engine(&pool, &schema, &data->cells, &data->imprecise,
-                        &canonical);
-      engine.SetCellRange(info.cell_begin, info.cell_end);
-      for (int t = 1; t <= max_iterations; ++t) {
-        for (const auto& g : comp_groups) {
-          IOLAP_RETURN_IF_ERROR(engine.RunGamma(g));
-        }
-        double max_eps = 0;
-        for (size_t g = 0; g < comp_groups.size(); ++g) {
-          IOLAP_RETURN_IF_ERROR(
-              engine.RunDelta(comp_groups[g], g == 0,
-                              g + 1 == comp_groups.size(), &max_eps));
-        }
-        iterations = t;
-        if (options.early_convergence && max_eps < options.epsilon) break;
-      }
-      // Emission for this component.
-      for (const auto& g : comp_groups) {
-        IOLAP_RETURN_IF_ERROR(engine.RunGamma(g));
-      }
-      EmitStats stats;
-      for (const auto& g : comp_groups) {
-        IOLAP_RETURN_IF_ERROR(engine.RunEmit(g, &appender, &stats));
-      }
-      result->edges_emitted += stats.edges_emitted;
-      result->unallocatable_facts += stats.unallocatable_facts;
-      result->peak_window_records =
-          std::max(result->peak_window_records, engine.peak_window_records());
-    }
-    info.edb_end = result->edb.size();
     result->components.max_component_iterations =
         std::max<int64_t>(result->components.max_component_iterations,
                           iterations);
     result->components.total_component_iterations += iterations;
     result->iterations =
         static_cast<int>(result->components.max_component_iterations);
+  };
+
+  // Every worker holds at most one pinned page while loading its
+  // component, and the appender holds one more — clamp the thread count so
+  // the pool can never run out of frames.
+  const int num_threads = static_cast<int>(std::min<int64_t>(
+      std::max(1, options.num_threads),
+      std::max<int64_t>(1, env.buffer_pages() - 2)));
+
+  if (num_threads <= 1) {
+    // Serial path: exactly the classic Algorithm 5 loop.
+    for (ComponentInfo& info : dir) {
+      info.edb_begin = result->edb.size();
+      const int64_t pages = pages_of(info);
+      int iterations = 0;
+      if (pages <= budget_records_limit) {
+        std::vector<CellRecord> cells;
+        std::vector<ImpreciseRecord> entries;
+        IOLAP_RETURN_IF_ERROR(
+            LoadComponent(pool, *data, info, &cells, &entries));
+        MemoryAllocator ma(&schema, std::move(cells), std::move(entries));
+        iterations = ConvergeComponent(&ma, options);
+        IOLAP_RETURN_IF_ERROR(ma.Emit(&appender, &result->edges_emitted,
+                                      &result->unallocatable_facts));
+      } else {
+        ++result->components.num_large_components;
+        result->components.large_component_pages += pages;
+        IOLAP_RETURN_IF_ERROR(
+            RunExternalComponent(env, schema, data, options, canonical, info,
+                                 &appender, result, &iterations));
+      }
+      info.edb_end = result->edb.size();
+      account(info, iterations);
+    }
+    appender.Close();
+    return Status::Ok();
   }
+
+  // Parallel path: shard the in-memory components across a worker pool,
+  // batching consecutive components by cost (cells + entries) so tiny
+  // components amortize task overhead. External components become inline
+  // barrier units — they get the whole buffer pool, exactly as in the
+  // serial path.
+  int64_t total_small_cost = 0;
+  for (const ComponentInfo& info : dir) {
+    if (pages_of(info) <= budget_records_limit) total_small_cost += info.tuples();
+  }
+  const int64_t chunk_target = std::max<int64_t>(
+      1, total_small_cost / (static_cast<int64_t>(num_threads) * 16));
+
+  std::vector<std::unique_ptr<ComponentBatch>> batches;
+  std::vector<ScheduledUnit> units;
+  ComponentBatch* open_batch = nullptr;
+
+  auto add_pooled_unit = [&](ComponentBatch* batch) {
+    batch->outputs.resize(batch->dir_index.size());
+    ScheduledUnit unit;
+    unit.cost = batch->cost;
+    unit.run = [batch, &pool, data, &schema, &options]() -> Status {
+      for (size_t j = 0; j < batch->dir_index.size(); ++j) {
+        const ComponentInfo& info_j = (*batch->info_source)[batch->dir_index[j]];
+        std::vector<CellRecord> cells;
+        std::vector<ImpreciseRecord> entries;
+        IOLAP_RETURN_IF_ERROR(
+            LoadComponent(pool, *data, info_j, &cells, &entries));
+        MemoryAllocator ma(&schema, std::move(cells), std::move(entries));
+        ComponentOutput& out = batch->outputs[j];
+        out.iterations = ConvergeComponent(&ma, options);
+        ma.EmitToVector(&out.rows, &out.unallocatable);
+      }
+      return Status::Ok();
+    };
+    unit.emit = [batch, &appender, result, &account]() -> Status {
+      for (size_t j = 0; j < batch->dir_index.size(); ++j) {
+        ComponentInfo& info_j = (*batch->info_source)[batch->dir_index[j]];
+        ComponentOutput& out = batch->outputs[j];
+        info_j.edb_begin = result->edb.size();
+        for (const EdbRecord& row : out.rows) {
+          IOLAP_RETURN_IF_ERROR(appender.Append(row));
+        }
+        info_j.edb_end = result->edb.size();
+        result->edges_emitted += static_cast<int64_t>(out.rows.size());
+        result->unallocatable_facts += out.unallocatable;
+        account(info_j, out.iterations);
+        std::vector<EdbRecord>().swap(out.rows);  // free as we go
+      }
+      return Status::Ok();
+    };
+    units.push_back(std::move(unit));
+  };
+  auto flush_batch = [&]() {
+    if (open_batch != nullptr) add_pooled_unit(open_batch);
+    open_batch = nullptr;
+  };
+
+  for (size_t i = 0; i < dir.size(); ++i) {
+    ComponentInfo& info = dir[i];
+    const int64_t pages = pages_of(info);
+    if (pages > budget_records_limit) {
+      // External component: an inline barrier unit. The scheduler drains
+      // every in-flight worker before running it, so the Block passes get
+      // the whole buffer pool — exactly as in the serial path.
+      flush_batch();
+      ScheduledUnit unit;
+      unit.cost = info.tuples();
+      unit.run_inline = true;
+      ComponentInfo* info_ptr = &info;
+      unit.run = [&env, &schema, data, &options, &canonical, info_ptr,
+                  &appender, result, &account, pages]() -> Status {
+        info_ptr->edb_begin = result->edb.size();
+        ++result->components.num_large_components;
+        result->components.large_component_pages += pages;
+        int iterations = 0;
+        IOLAP_RETURN_IF_ERROR(
+            RunExternalComponent(env, schema, data, options, canonical,
+                                 *info_ptr, &appender, result, &iterations));
+        info_ptr->edb_end = result->edb.size();
+        account(*info_ptr, iterations);
+        return Status::Ok();
+      };
+      units.push_back(std::move(unit));
+      continue;
+    }
+    if (open_batch == nullptr) {
+      batches.push_back(std::make_unique<ComponentBatch>());
+      open_batch = batches.back().get();
+      open_batch->info_source = &dir;
+    }
+    open_batch->dir_index.push_back(i);
+    open_batch->cost += info.tuples();
+    if (open_batch->cost >= chunk_target) flush_batch();
+  }
+  flush_batch();
+
+  ThreadPool workers(num_threads);
+  // Bound computed-but-unemitted work: a handful of chunks per worker.
+  ParallelScheduler scheduler(&workers,
+                              chunk_target * (static_cast<int64_t>(num_threads) + 2));
+  IOLAP_RETURN_IF_ERROR(scheduler.Execute(units));
+
   appender.Close();
   return Status::Ok();
 }

@@ -1,0 +1,71 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+
+namespace iolap {
+
+Status TaskFuture::Wait() const {
+  if (state_ == nullptr) {
+    return Status::FailedPrecondition("Wait on an invalid TaskFuture");
+  }
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  return state_->status;
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = std::max(1, num_threads);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+TaskFuture ThreadPool::Submit(std::function<Status()> fn) {
+  auto state = std::make_shared<TaskFuture::State>();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // The pool is shutting down; fail the task instead of losing it.
+      std::lock_guard<std::mutex> task_lock(state->mu);
+      state->done = true;
+      state->status =
+          Status::FailedPrecondition("Submit on a stopping ThreadPool");
+      return TaskFuture(std::move(state));
+    }
+    queue_.push_back(Task{std::move(fn), state});
+  }
+  cv_.notify_one();
+  return TaskFuture(std::move(state));
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ && drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Status status = task.fn ? task.fn() : Status::Ok();
+    {
+      std::lock_guard<std::mutex> lock(task.state->mu);
+      task.state->status = std::move(status);
+      task.state->done = true;
+    }
+    task.state->cv.notify_all();
+  }
+}
+
+}  // namespace iolap

@@ -1,0 +1,87 @@
+#ifndef IOLAP_EXEC_THREAD_POOL_H_
+#define IOLAP_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace iolap {
+
+/// Completion handle for one task submitted to a ThreadPool. Wait() blocks
+/// until the task has run and returns its Status — the library's
+/// exception-free analogue of std::future<Status>. Copyable; all copies
+/// share one completion state.
+class TaskFuture {
+ public:
+  TaskFuture() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Blocks until the task completed and returns its Status. Waiting on an
+  /// invalid (default-constructed) future is a caller bug and returns
+  /// kFailedPrecondition.
+  Status Wait() const;
+
+ private:
+  friend class ThreadPool;
+
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
+  };
+
+  explicit TaskFuture(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+/// Fixed-size worker pool with a FIFO task queue. Tasks are
+/// `std::function<Status()>`; their Status propagates to the submitter
+/// through the returned TaskFuture (no exceptions anywhere, per the
+/// library's error-handling convention).
+///
+/// Shutdown (destructor) *drains* the queue: tasks already submitted still
+/// run to completion before the workers join, so every TaskFuture handed
+/// out is guaranteed to complete.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn` for execution on a worker thread. With a single worker
+  /// the execution order is exactly the submission order.
+  TaskFuture Submit(std::function<Status()> fn);
+
+ private:
+  struct Task {
+    std::function<Status()> fn;
+    std::shared_ptr<TaskFuture::State> state;
+  };
+
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace iolap
+
+#endif  // IOLAP_EXEC_THREAD_POOL_H_

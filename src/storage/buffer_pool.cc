@@ -50,6 +50,7 @@ BufferPool::BufferPool(DiskManager* disk, size_t capacity_pages)
 }
 
 size_t BufferPool::pinned_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t n = 0;
   for (const Frame& f : frames_) {
     if (f.pin_count > 0) ++n;
@@ -91,6 +92,7 @@ Status BufferPool::FlushFrame(Frame& frame) {
 }
 
 Result<PageGuard> BufferPool::Pin(FileId file, PageId page) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = page_table_.find(Key{file, page});
   if (it != page_table_.end()) {
     ++stats_.hits;
@@ -119,6 +121,7 @@ Result<PageGuard> BufferPool::Pin(FileId file, PageId page) {
 }
 
 Result<PageGuard> BufferPool::PinNew(FileId file, PageId page) {
+  std::lock_guard<std::mutex> lock(mu_);
   IOLAP_ASSIGN_OR_RETURN(int64_t size, disk_->SizeInPages(file));
   if (page != size) {
     return Status::InvalidArgument(
@@ -147,6 +150,7 @@ Result<PageGuard> BufferPool::PinNew(FileId file, PageId page) {
 }
 
 void BufferPool::Unpin(int32_t frame_index) {
+  std::lock_guard<std::mutex> lock(mu_);
   Frame& frame = frames_[frame_index];
   if (--frame.pin_count == 0) {
     lru_.push_back(frame_index);
@@ -156,6 +160,7 @@ void BufferPool::Unpin(int32_t frame_index) {
 }
 
 Status BufferPool::FlushFile(FileId file) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (Frame& frame : frames_) {
     if (frame.file == file) IOLAP_RETURN_IF_ERROR(FlushFrame(frame));
   }
@@ -163,6 +168,7 @@ Status BufferPool::FlushFile(FileId file) {
 }
 
 Status BufferPool::EvictFile(FileId file) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (size_t i = 0; i < frames_.size(); ++i) {
     Frame& frame = frames_[i];
     if (frame.file != file) continue;
@@ -185,6 +191,7 @@ Status BufferPool::EvictFile(FileId file) {
 }
 
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (Frame& frame : frames_) {
     if (frame.file != kInvalidFileId) IOLAP_RETURN_IF_ERROR(FlushFrame(frame));
   }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -18,7 +19,8 @@ class BufferPool;
 
 /// RAII pin on a buffer-pool page. While alive, the frame cannot be evicted
 /// and `data()` stays valid. Call `MarkDirty()` after mutating the page so
-/// the pool writes it back on eviction/flush.
+/// the pool writes it back on eviction/flush. A guard may be moved across
+/// threads but must be used by one thread at a time.
 class PageGuard {
  public:
   PageGuard() = default;
@@ -48,6 +50,15 @@ class PageGuard {
 /// pages exclusively through the pool, so restricting the pool's capacity
 /// reproduces the paper's "memory limited to a restricted buffer pool"
 /// experimental setup.
+///
+/// Thread-safety: all pin/unpin/flush/evict bookkeeping is serialized by a
+/// single pool mutex (held across the disk read of a miss, so concurrent
+/// misses do not overlap their I/O — the parallel execution layer targets
+/// CPU-bound workloads whose pages are pool hits). Page *contents* are
+/// accessed through PageGuard without the mutex: a pinned frame is never
+/// evicted or re-assigned, and the frame buffers are allocated once in the
+/// constructor, so `data()` pointers stay stable. Concurrent readers of one
+/// page are safe; writers of one page must be externally serialized.
 class BufferPool {
  public:
   BufferPool(DiskManager* disk, size_t capacity_pages);
@@ -75,8 +86,15 @@ class BufferPool {
 
   size_t capacity_pages() const { return capacity_; }
   size_t pinned_pages() const;
-  const PoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = PoolStats{}; }
+  /// Race-free snapshot of the pool counters.
+  PoolStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = PoolStats{};
+  }
   DiskManager* disk() const { return disk_; }
 
  private:
@@ -106,16 +124,23 @@ class BufferPool {
     }
   };
 
+  // All private helpers require mu_ to be held by the caller.
   Result<int32_t> FindVictim();
   Status FlushFrame(Frame& frame);
   void Unpin(int32_t frame_index);
-  void SetDirty(int32_t frame_index) { frames_[frame_index].dirty = true; }
+  void SetDirty(int32_t frame_index) {
+    std::lock_guard<std::mutex> lock(mu_);
+    frames_[frame_index].dirty = true;
+  }
   std::byte* FrameData(int32_t frame_index) {
+    // Lock-free: the frame buffer address is fixed at construction and the
+    // caller holds a pin, so the frame cannot be re-assigned underneath.
     return frames_[frame_index].data.get();
   }
 
   DiskManager* disk_;
   size_t capacity_;
+  mutable std::mutex mu_;
   std::vector<Frame> frames_;
   std::vector<int32_t> free_frames_;
   std::list<int32_t> lru_;  // front = least recently used, unpinned only

@@ -6,6 +6,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <mutex>
 
 namespace iolap {
 
@@ -24,12 +25,13 @@ DiskManager::DiskManager(std::string directory)
 
 DiskManager::~DiskManager() {
   for (auto& [id, state] : files_) {
-    if (state.fd >= 0) ::close(state.fd);
-    ::unlink(state.path.c_str());
+    if (state->fd >= 0) ::close(state->fd);
+    ::unlink(state->path.c_str());
   }
 }
 
 Result<FileId> DiskManager::CreateFile(const std::string& hint) {
+  std::unique_lock lock(mu_);
   FileId id = next_file_id_++;
   std::string path =
       directory_ + "/f" + std::to_string(id) + "_" + hint + ".dat";
@@ -37,35 +39,38 @@ Result<FileId> DiskManager::CreateFile(const std::string& hint) {
   if (fd < 0) {
     return Status::IoError(ErrnoMessage("open", path));
   }
-  files_[id] = FileState{fd, 0, std::move(path)};
+  auto state = std::make_unique<FileState>();
+  state->fd = fd;
+  state->path = std::move(path);
+  files_[id] = std::move(state);
   return id;
 }
 
-Result<const DiskManager::FileState*> DiskManager::GetFile(
-    FileId file) const {
+Result<DiskManager::FileState*> DiskManager::GetFile(FileId file) const {
+  std::shared_lock lock(mu_);
   auto it = files_.find(file);
   if (it == files_.end()) {
     return Status::NotFound("unknown file id " + std::to_string(file));
   }
-  return &it->second;
+  return it->second.get();
 }
 
 Status DiskManager::ReadPage(FileId file, PageId page, void* buffer) {
   if (fault_injector_) {
     IOLAP_RETURN_IF_ERROR(fault_injector_('r', file, page));
   }
-  IOLAP_ASSIGN_OR_RETURN(const FileState* state, GetFile(file));
-  if (page < 0 || page >= state->size_pages) {
-    return Status::OutOfRange("read of page " + std::to_string(page) +
-                              " beyond file of " +
-                              std::to_string(state->size_pages) + " pages");
+  IOLAP_ASSIGN_OR_RETURN(FileState * state, GetFile(file));
+  if (page < 0 || page >= state->size_pages.load()) {
+    return Status::OutOfRange(
+        "read of page " + std::to_string(page) + " beyond file of " +
+        std::to_string(state->size_pages.load()) + " pages");
   }
   ssize_t n = ::pread(state->fd, buffer, kPageSize,
                       static_cast<off_t>(page) * kPageSize);
   if (n != static_cast<ssize_t>(kPageSize)) {
     return Status::IoError(ErrnoMessage("pread", state->path));
   }
-  ++stats_.page_reads;
+  page_reads_.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 
@@ -73,56 +78,58 @@ Status DiskManager::WritePage(FileId file, PageId page, const void* buffer) {
   if (fault_injector_) {
     IOLAP_RETURN_IF_ERROR(fault_injector_('w', file, page));
   }
-  auto it = files_.find(file);
-  if (it == files_.end()) {
-    return Status::NotFound("unknown file id " + std::to_string(file));
-  }
-  FileState& state = it->second;
-  if (page < 0 || page > state.size_pages) {
+  IOLAP_ASSIGN_OR_RETURN(FileState * state, GetFile(file));
+  int64_t size = state->size_pages.load();
+  if (page < 0 || page > size) {
     return Status::OutOfRange("write of page " + std::to_string(page) +
                               " would leave a hole in file of " +
-                              std::to_string(state.size_pages) + " pages");
+                              std::to_string(size) + " pages");
   }
-  ssize_t n = ::pwrite(state.fd, buffer, kPageSize,
+  ssize_t n = ::pwrite(state->fd, buffer, kPageSize,
                        static_cast<off_t>(page) * kPageSize);
   if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IoError(ErrnoMessage("pwrite", state.path));
+    return Status::IoError(ErrnoMessage("pwrite", state->path));
   }
-  if (page == state.size_pages) ++state.size_pages;
-  ++stats_.page_writes;
+  // Appends to one file come from a single thread (see the class comment),
+  // so this read-compare-store does not race with another append.
+  if (page == size) state->size_pages.store(size + 1);
+  page_writes_.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 
 Result<int64_t> DiskManager::SizeInPages(FileId file) const {
-  IOLAP_ASSIGN_OR_RETURN(const FileState* state, GetFile(file));
-  return state->size_pages;
+  IOLAP_ASSIGN_OR_RETURN(FileState * state, GetFile(file));
+  return state->size_pages.load();
 }
 
 Status DiskManager::Truncate(FileId file, int64_t pages) {
+  std::unique_lock lock(mu_);
   auto it = files_.find(file);
   if (it == files_.end()) {
     return Status::NotFound("unknown file id " + std::to_string(file));
   }
-  FileState& state = it->second;
-  if (pages < 0 || pages > state.size_pages) {
+  FileState& state = *it->second;
+  if (pages < 0 || pages > state.size_pages.load()) {
     return Status::OutOfRange("truncate to " + std::to_string(pages) +
                               " pages invalid for file of " +
-                              std::to_string(state.size_pages) + " pages");
+                              std::to_string(state.size_pages.load()) +
+                              " pages");
   }
   if (::ftruncate(state.fd, static_cast<off_t>(pages) * kPageSize) != 0) {
     return Status::IoError(ErrnoMessage("ftruncate", state.path));
   }
-  state.size_pages = pages;
+  state.size_pages.store(pages);
   return Status::Ok();
 }
 
 Status DiskManager::DeleteFile(FileId file) {
+  std::unique_lock lock(mu_);
   auto it = files_.find(file);
   if (it == files_.end()) {
     return Status::NotFound("unknown file id " + std::to_string(file));
   }
-  ::close(it->second.fd);
-  ::unlink(it->second.path.c_str());
+  ::close(it->second->fd);
+  ::unlink(it->second->path.c_str());
   files_.erase(it);
   return Status::Ok();
 }

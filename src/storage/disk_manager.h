@@ -1,8 +1,11 @@
 #ifndef IOLAP_STORAGE_DISK_MANAGER_H_
 #define IOLAP_STORAGE_DISK_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
@@ -26,8 +29,13 @@ inline constexpr FileId kInvalidFileId = -1;
 /// summary tables, sort runs, the extended database) lives in files managed
 /// here, so `stats()` captures the total disk traffic of an operation.
 ///
-/// Not thread-safe; the allocation algorithms are single-threaded by design
-/// (the paper's are too).
+/// Thread-safety: page reads/writes on *distinct* pages may run
+/// concurrently (positional pread/pwrite on a shared fd; the file table is
+/// guarded by a reader/writer lock and the I/O counters are atomic).
+/// Concurrent writes to the *same* page, and racing appends to the same
+/// file, are the caller's responsibility to serialize — the parallel
+/// execution layer only ever writes from one thread per file.
+/// `SetFaultInjector` must be called before any concurrent use.
 class DiskManager {
  public:
   /// Creates (if needed) and takes over `directory`. Files created by this
@@ -60,14 +68,26 @@ class DiskManager {
   /// Closes and unlinks `file`.
   Status DeleteFile(FileId file);
 
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = IoStats{}; }
+  /// Race-free snapshot of the I/O counters (the counters themselves are
+  /// atomics, so concurrent reads and writes keep incrementing while the
+  /// snapshot is taken).
+  IoStats stats() const {
+    IoStats out;
+    out.page_reads = page_reads_.load(std::memory_order_relaxed);
+    out.page_writes = page_writes_.load(std::memory_order_relaxed);
+    return out;
+  }
+  void ResetStats() {
+    page_reads_.store(0, std::memory_order_relaxed);
+    page_writes_.store(0, std::memory_order_relaxed);
+  }
 
   const std::string& directory() const { return directory_; }
 
   /// Test hook: called before every page read ('r') / write ('w'); a
   /// non-OK return is surfaced as that operation's result. Exercises the
   /// error-propagation paths of everything built on top of the disk.
+  /// Must be installed before the manager is shared across threads.
   using FaultInjector = std::function<Status(char op, FileId, PageId)>;
   void SetFaultInjector(FaultInjector injector) {
     fault_injector_ = std::move(injector);
@@ -76,16 +96,20 @@ class DiskManager {
  private:
   struct FileState {
     int fd = -1;
-    int64_t size_pages = 0;
+    std::atomic<int64_t> size_pages{0};
     std::string path;
   };
 
-  Result<const FileState*> GetFile(FileId file) const;
+  Result<FileState*> GetFile(FileId file) const;
 
   std::string directory_;
   FileId next_file_id_ = 0;
-  std::unordered_map<FileId, FileState> files_;
-  IoStats stats_;
+  // unique_ptr values keep FileState addresses stable across rehashes, so
+  // readers can use the state after dropping the shared lock.
+  std::unordered_map<FileId, std::unique_ptr<FileState>> files_;
+  mutable std::shared_mutex mu_;  // guards files_ / next_file_id_
+  std::atomic<int64_t> page_reads_{0};
+  std::atomic<int64_t> page_writes_{0};
   FaultInjector fault_injector_;
 };
 

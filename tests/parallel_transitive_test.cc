@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "common/result.h"
+#include "datagen/generator.h"
+#include "datagen/table2.h"
+#include "tests/test_util.h"
+
+namespace iolap {
+namespace {
+
+// The parallel Transitive path must produce an EDB that is byte-identical —
+// not merely numerically close — to the serial path, for any thread count.
+// Components are disjoint subgraphs, so their floating-point results are
+// scheduling-independent, and the scheduler emits rows in strict component
+// order; these tests pin that contract down with memcmp.
+
+struct RunStats {
+  std::vector<EdbRecord> rows;
+  int64_t num_components = 0;
+  int64_t largest_component = 0;
+  int64_t num_large_components = 0;
+  int64_t edges_emitted = 0;
+  int64_t unallocatable_facts = 0;
+  int64_t total_component_iterations = 0;
+  int iterations = 0;
+};
+
+RunStats RunWithThreads(const StarSchema& schema, const DatasetSpec& spec,
+                        const AllocationOptions& base, int buffer_pages,
+                        int num_threads) {
+  StorageEnv env(MakeTempDir(), buffer_pages);
+  RunStats out;
+  auto facts_or = GenerateFacts(env, schema, spec);
+  EXPECT_TRUE(facts_or.ok()) << facts_or.status().message();
+  if (!facts_or.ok()) return out;
+  auto facts = std::move(facts_or).value();
+
+  AllocationOptions options = base;
+  options.algorithm = AlgorithmKind::kTransitive;
+  options.num_threads = num_threads;
+  auto result_or = Allocator::Run(env, schema, &facts, options);
+  EXPECT_TRUE(result_or.ok()) << result_or.status().message();
+  if (!result_or.ok()) return out;
+  AllocationResult result = std::move(result_or).value();
+
+  auto cursor = result.edb.Scan(env.pool());
+  EdbRecord rec;
+  while (!cursor.done()) {
+    EXPECT_TRUE(cursor.Next(&rec).ok());
+    out.rows.push_back(rec);
+  }
+  out.num_components = result.components.num_components;
+  out.largest_component = result.components.largest_component;
+  out.num_large_components = result.components.num_large_components;
+  out.edges_emitted = result.edges_emitted;
+  out.unallocatable_facts = result.unallocatable_facts;
+  out.total_component_iterations =
+      result.components.total_component_iterations;
+  out.iterations = result.iterations;
+  return out;
+}
+
+void ExpectByteIdentical(const RunStats& got, const RunStats& want,
+                         int threads) {
+  EXPECT_EQ(got.rows.size(), want.rows.size()) << "threads=" << threads;
+  if (got.rows.size() == want.rows.size() && !got.rows.empty()) {
+    EXPECT_EQ(std::memcmp(got.rows.data(), want.rows.data(),
+                          got.rows.size() * sizeof(EdbRecord)),
+              0)
+        << "EDB bytes differ at threads=" << threads;
+  }
+  EXPECT_EQ(got.num_components, want.num_components) << "threads=" << threads;
+  EXPECT_EQ(got.largest_component, want.largest_component)
+      << "threads=" << threads;
+  EXPECT_EQ(got.num_large_components, want.num_large_components)
+      << "threads=" << threads;
+  EXPECT_EQ(got.edges_emitted, want.edges_emitted) << "threads=" << threads;
+  EXPECT_EQ(got.unallocatable_facts, want.unallocatable_facts)
+      << "threads=" << threads;
+  EXPECT_EQ(got.total_component_iterations, want.total_component_iterations)
+      << "threads=" << threads;
+  EXPECT_EQ(got.iterations, want.iterations) << "threads=" << threads;
+}
+
+Result<StarSchema> MakeDenseSchema() {
+  std::vector<Hierarchy> dims;
+  IOLAP_ASSIGN_OR_RETURN(Hierarchy d0, HierarchyBuilder::Uniform("D0", {3, 3}));
+  IOLAP_ASSIGN_OR_RETURN(Hierarchy d1,
+                         HierarchyBuilder::Uniform("D1", {2, 2, 2}));
+  IOLAP_ASSIGN_OR_RETURN(Hierarchy d2, HierarchyBuilder::Uniform("D2", {4, 2}));
+  dims.push_back(std::move(d0));
+  dims.push_back(std::move(d1));
+  dims.push_back(std::move(d2));
+  return StarSchema::Create(std::move(dims));
+}
+
+struct ParallelParam {
+  uint64_t seed;
+  bool converging;  // early convergence on vs. fixed-iteration ablation
+};
+
+class ParallelTransitive : public ::testing::TestWithParam<ParallelParam> {};
+
+std::string ParamName(const ::testing::TestParamInfo<ParallelParam>& info) {
+  return std::string("s") + std::to_string(info.param.seed) +
+         (info.param.converging ? "_converging" : "_fixed");
+}
+
+TEST_P(ParallelTransitive, EdbIsByteIdenticalAcrossThreadCounts) {
+  const ParallelParam& param = GetParam();
+  IOLAP_ASSERT_OK_AND_ASSIGN(StarSchema schema, MakeDenseSchema());
+  DatasetSpec spec;
+  spec.num_facts = 1200;
+  spec.imprecise_fraction = 0.4;
+  spec.allow_all = true;
+  spec.all_fraction = 0.1;
+  spec.seed = param.seed;
+
+  AllocationOptions base;
+  if (param.converging) {
+    base.epsilon = 1e-6;
+    base.max_iterations = 100;
+    base.early_convergence = true;
+  } else {
+    base.epsilon = 0;
+    base.max_iterations = 5;
+    base.early_convergence = false;
+  }
+
+  const int kBufferPages = 128;  // plenty: every component fits in memory
+  RunStats serial = RunWithThreads(schema, spec, base, kBufferPages, 1);
+  ASSERT_GT(serial.rows.size(), 0u);
+  ASSERT_GT(serial.num_components, 0);
+  for (int threads : {2, 4, 8}) {
+    RunStats parallel =
+        RunWithThreads(schema, spec, base, kBufferPages, threads);
+    ExpectByteIdentical(parallel, serial, threads);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelTransitive,
+                         ::testing::Values(ParallelParam{11, false},
+                                           ParallelParam{11, true},
+                                           ParallelParam{29, false},
+                                           ParallelParam{29, true}),
+                         ParamName);
+
+// With a tiny buffer pool some components exceed the in-memory budget and
+// take the external Block path, which runs as an inline barrier in the
+// parallel scheduler. The output must still be byte-identical, and the
+// small/external split itself must not depend on the thread count.
+TEST(ParallelTransitiveExternal, MixedInMemoryAndExternalComponents) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(StarSchema schema, MakeAutomotiveSchema());
+  DatasetSpec spec;
+  spec.num_facts = 20000;
+  spec.imprecise_fraction = 0.3;
+  spec.allow_all = true;
+  spec.all_fraction = 0.15;
+  spec.seed = 7;
+
+  AllocationOptions base;
+  base.epsilon = 0.005;
+  base.max_iterations = 20;
+  base.early_convergence = true;
+
+  const int kBufferPages = 8;  // forces at least one external component
+  RunStats serial = RunWithThreads(schema, spec, base, kBufferPages, 1);
+  ASSERT_GT(serial.rows.size(), 0u);
+  for (int threads : {2, 4}) {
+    RunStats parallel =
+        RunWithThreads(schema, spec, base, kBufferPages, threads);
+    ExpectByteIdentical(parallel, serial, threads);
+  }
+}
+
+// Thread counts beyond the buffer pool's pin capacity are clamped rather
+// than failing or corrupting output.
+TEST(ParallelTransitiveClamp, HugeThreadCountIsSafe) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(StarSchema schema, MakeDenseSchema());
+  DatasetSpec spec;
+  spec.num_facts = 500;
+  spec.imprecise_fraction = 0.4;
+  spec.seed = 3;
+
+  AllocationOptions base;
+  base.epsilon = 0;
+  base.max_iterations = 3;
+  base.early_convergence = false;
+
+  RunStats serial = RunWithThreads(schema, spec, base, /*buffer_pages=*/6, 1);
+  RunStats parallel =
+      RunWithThreads(schema, spec, base, /*buffer_pages=*/6, 64);
+  ExpectByteIdentical(parallel, serial, 64);
+}
+
+}  // namespace
+}  // namespace iolap

@@ -10,7 +10,10 @@
 //   iolap_cli allocate --schema=s.csv --facts=f.csv --out=edb.csv
 //       [--policy=count|measure|uniform] [--algorithm=transitive|block|
 //        independent|basic] [--epsilon=0.005] [--buffer-pages=4096]
-//       Builds the Extended Database and writes it as CSV.
+//       [--threads=1]
+//       Builds the Extended Database and writes it as CSV. --threads > 1
+//       runs Transitive's components in parallel (output is byte-identical
+//       to the serial run).
 //
 //   iolap_cli query --schema=s.csv --facts=f.csv --dim=<name> --node=<name>
 //       [--func=sum|count|avg]
@@ -118,6 +121,7 @@ int CmdAllocate(const Flags& flags) {
   options.algorithm =
       ParseAlgorithm(flags.GetString("algorithm", "transitive"));
   options.epsilon = flags.GetDouble("epsilon", 0.005);
+  options.num_threads = static_cast<int>(flags.GetInt("threads", 1));
   const int64_t num_facts = facts.size();
   AllocationResult result =
       Unwrap(Allocator::Run(env, schema, &facts, options));
@@ -150,6 +154,7 @@ int CmdQuery(const Flags& flags) {
       Unwrap(LoadFactsCsv(env, schema, flags.GetString("facts", "")));
   AllocationOptions options;
   options.policy = ParsePolicy(flags.GetString("policy", "count"));
+  options.num_threads = static_cast<int>(flags.GetInt("threads", 1));
   AllocationResult result =
       Unwrap(Allocator::Run(env, schema, &facts, options));
 
