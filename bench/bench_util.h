@@ -3,6 +3,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "alloc/allocator.h"
@@ -61,9 +62,84 @@ inline int64_t EstimateDataPages(int64_t facts, double imprecise_fraction) {
          imprecise / TypedFile<ImpreciseRecord>::kRecordsPerPage + 2;
 }
 
+/// As RunOnce, but with the full AllocationOptions (algorithm/epsilon in
+/// the struct) — used by benchmarks that tune the I/O pipeline knobs.
+inline AllocationResult RunOnceWithOptions(const StarSchema& schema,
+                                           const DatasetSpec& spec,
+                                           int64_t buffer_pages,
+                                           const AllocationOptions& options,
+                                           const char* tag) {
+  StorageEnv env(MakeWorkDir(tag), buffer_pages);
+  TypedFile<FactRecord> facts = Unwrap(GenerateFacts(env, schema, spec));
+  return Unwrap(Allocator::Run(env, schema, &facts, options));
+}
+
 inline void PrintHeader(const char* title) {
   std::printf("\n==== %s ====\n", title);
 }
+
+/// Minimal emitter for machine-readable bench output: a JSON array of flat
+/// objects, one per measured configuration. Keys and string values are
+/// written verbatim (callers use plain identifiers), doubles with enough
+/// digits to round-trip. Rows accumulate in memory; Write() lands the file
+/// atomically enough for the experiment scripts (single writer).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string path) : path_(std::move(path)) {}
+
+  void BeginObject() {
+    if (!rows_.empty()) rows_ += ",\n";
+    rows_ += "  {";
+    first_field_ = true;
+  }
+  void Field(const char* key, const char* value) {
+    AppendKey(key);
+    rows_ += '"';
+    rows_ += value;
+    rows_ += '"';
+  }
+  void Field(const char* key, int64_t value) {
+    AppendKey(key);
+    rows_ += std::to_string(value);
+  }
+  void Field(const char* key, double value) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    AppendKey(key);
+    rows_ += buf;
+  }
+  void Field(const char* key, bool value) {
+    AppendKey(key);
+    rows_ += value ? "true" : "false";
+  }
+  void EndObject() { rows_ += '}'; }
+
+  /// Writes the accumulated array; returns false (and prints) on failure.
+  bool Write() const {
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return false;
+    }
+    out << "[\n" << rows_ << "\n]\n";
+    return static_cast<bool>(out);
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void AppendKey(const char* key) {
+    if (!first_field_) rows_ += ", ";
+    first_field_ = false;
+    rows_ += '"';
+    rows_ += key;
+    rows_ += "\": ";
+  }
+
+  std::string path_;
+  std::string rows_;
+  bool first_field_ = true;
+};
 
 inline void PrintRunRow(const char* algo, double epsilon, int64_t buffer_pages,
                         const AllocationResult& r) {

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Builds the repo under ThreadSanitizer and runs the tests that exercise the
-# concurrent paths: the thread-safe storage layer (BufferPool/DiskManager),
-# the exec subsystem (ThreadPool/ParallelScheduler), and the
-# component-parallel Transitive allocator. Zero reported races is a release
-# gate for the parallel execution subsystem.
+# concurrent paths: the thread-safe storage layer (BufferPool/DiskManager,
+# including the background prefetcher), the exec subsystem
+# (ThreadPool/ParallelScheduler), the external sorter's parallel run
+# generation, and the component-parallel Transitive allocator. Zero reported
+# races is a release gate for the parallel execution subsystem.
 #
 #   scripts/run_tsan.sh [extra ctest args...]
 
@@ -13,10 +14,11 @@ cd "$(dirname "$0")/.."
 BUILD=build-tsan
 cmake -B "$BUILD" -G Ninja -DIOLAP_SANITIZE=thread
 cmake --build "$BUILD" --target \
-  buffer_pool_test disk_manager_test thread_pool_test parallel_transitive_test
+  buffer_pool_test disk_manager_test thread_pool_test \
+  parallel_transitive_test external_sort_test io_pipeline_equivalence_test
 
 export TSAN_OPTIONS="halt_on_error=0:exitcode=66:${TSAN_OPTIONS:-}"
 ctest --test-dir "$BUILD" --output-on-failure \
-  -R 'BufferPool|DiskManager|ThreadPool|ParallelScheduler|ParallelTransitive' \
+  -R 'BufferPool|DiskManager|ThreadPool|ParallelScheduler|ParallelTransitive|ExternalSort|IoPipeline' \
   "$@"
 echo "TSan run clean."

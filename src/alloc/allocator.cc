@@ -11,6 +11,11 @@ Result<AllocationResult> Allocator::Run(StorageEnv& env,
                                         TypedFile<FactRecord>* facts,
                                         const AllocationOptions& options) {
   AllocationResult result;
+  // The I/O pipeline knobs live on the pool for the duration of this run:
+  // sequential cursors check them when issuing read-ahead hints and flushes
+  // pick per-page vs. batched write-back.
+  env.pool().ConfigureReadAhead(options.io.read_ahead_pages);
+  env.pool().set_batched_writeback(options.io.batched_writeback);
   IoStats io_before = env.disk().stats();
   Stopwatch watch;
 

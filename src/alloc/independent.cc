@@ -48,9 +48,9 @@ Status RunIndependent(StorageEnv& env, const StarSchema& schema,
   result->num_groups = static_cast<int>(chains.size());
 
   ExternalSorter<CellRecord> cell_sorter(&env.disk(), &env.pool(),
-                                         env.buffer_pages());
+                                         env.buffer_pages(), options.io);
   ExternalSorter<ImpreciseRecord> entry_sorter(&env.disk(), &env.pool(),
-                                               env.buffer_pages());
+                                               env.buffer_pages(), options.io);
 
   const int max_iterations = options.EffectiveMaxIterations();
   for (int t = 1; t <= max_iterations; ++t) {
@@ -61,16 +61,12 @@ Status RunIndependent(StorageEnv& env, const StarSchema& schema,
       Chain& chain = chains[g];
       // Re-sort C and the chain's summary tables into the chain order —
       // the repeated sorting that dominates Independent's cost.
-      IOLAP_RETURN_IF_ERROR(cell_sorter.Sort(
-          &data->cells, [&](const CellRecord& a, const CellRecord& b) {
-            return chain.cmp.CellLess(a, b);
-          }));
+      IOLAP_RETURN_IF_ERROR(
+          cell_sorter.Sort(&data->cells, CellSpecLess(&chain.cmp)));
       for (const TableSegment& seg : chain.segments) {
         IOLAP_RETURN_IF_ERROR(entry_sorter.SortRange(
             &data->imprecise, seg.begin, seg.end,
-            [&](const ImpreciseRecord& a, const ImpreciseRecord& b) {
-              return chain.cmp.EntryLess(a, b);
-            }));
+            EntrySpecLess(&chain.cmp)));
       }
       PassEngine engine(&env.pool(), &schema, &data->cells, &data->imprecise,
                         &chain.cmp);
@@ -92,17 +88,12 @@ Status RunIndependent(StorageEnv& env, const StarSchema& schema,
 
   // Restore canonical order for the shared emission path.
   SpecComparator canonical(&schema, SortSpec::Canonical(schema));
-  IOLAP_RETURN_IF_ERROR(cell_sorter.Sort(
-      &data->cells, [&](const CellRecord& a, const CellRecord& b) {
-        return canonical.CellLess(a, b);
-      }));
+  IOLAP_RETURN_IF_ERROR(
+      cell_sorter.Sort(&data->cells, CellSpecLess(&canonical)));
   for (const Chain& chain : chains) {
     for (const TableSegment& seg : chain.segments) {
       IOLAP_RETURN_IF_ERROR(entry_sorter.SortRange(
-          &data->imprecise, seg.begin, seg.end,
-          [&](const ImpreciseRecord& a, const ImpreciseRecord& b) {
-            return canonical.EntryLess(a, b);
-          }));
+          &data->imprecise, seg.begin, seg.end, EntrySpecLess(&canonical)));
     }
   }
   return Status::Ok();

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "model/records.h"
+#include "storage/io_pipeline.h"
 
 namespace iolap {
 
@@ -92,6 +93,13 @@ struct AllocationOptions {
   /// 1 (the default) is exactly the serial algorithm; values are clamped to
   /// what the buffer pool can pin concurrently.
   int num_threads = 1;
+
+  /// Storage I/O pipeline tuning (parallel run generation, merge block
+  /// buffers, buffer-pool read-ahead, batched write-back). Every setting
+  /// yields a byte-identical EDB and identical demand I/O counts; only
+  /// wall-clock changes. `IoPipelineOptions::Serial()` is the pre-pipeline
+  /// baseline.
+  IoPipelineOptions io;
 
   /// δ(c) contribution of one precise fact under this policy.
   double DeltaContribution(const FactRecord& fact) const {

@@ -95,7 +95,8 @@ Result<PreparedDataset> PrepareDataset(StorageEnv& env,
 
   // Step 1: sort D into summary-table order (one "special sort").
   {
-    ExternalSorter<FactRecord> sorter(&disk, &pool, env.buffer_pages());
+    ExternalSorter<FactRecord> sorter(&disk, &pool, env.buffer_pages(),
+                                      options.io);
     IOLAP_RETURN_IF_ERROR(sorter.Sort(facts, SummaryOrderLess(&schema)));
   }
 
@@ -226,11 +227,9 @@ Result<PreparedDataset> PrepareDataset(StorageEnv& env,
   if (union_domain && stubs.size() > 0) {
     {
       SpecComparator canonical(&schema, SortSpec::Canonical(schema));
-      ExternalSorter<CellRecord> sorter(&disk, &pool, env.buffer_pages());
-      IOLAP_RETURN_IF_ERROR(sorter.Sort(
-          &stubs, [&](const CellRecord& a, const CellRecord& b) {
-            return canonical.CellLess(a, b);
-          }));
+      ExternalSorter<CellRecord> sorter(&disk, &pool, env.buffer_pages(),
+                                        options.io);
+      IOLAP_RETURN_IF_ERROR(sorter.Sort(&stubs, CellSpecLess(&canonical)));
     }
     IOLAP_ASSIGN_OR_RETURN(auto merged,
                            TypedFile<CellRecord>::Create(disk, "cells_union"));

@@ -9,6 +9,22 @@
 
 namespace iolap {
 
+/// Packs up to `width_bits` of a non-negative value below the already-used
+/// high bits of a normalized key (see `SorterKeyPrefix` in
+/// storage/external_sort.h). Truncation keeps the prefix monotone: dropped
+/// low bits only turn "less" into "equal", never reorder.
+inline void PackKeyBits(uint64_t value, int width_bits, uint64_t* key,
+                        int* bits_left) {
+  if (*bits_left <= 0) return;
+  if (width_bits <= *bits_left) {
+    *bits_left -= width_bits;
+    *key |= value << *bits_left;
+  } else {
+    *key |= value >> (width_bits - *bits_left);
+    *bits_left = 0;
+  }
+}
+
 /// One term of a sort order: "the ancestor ordinal of dimension `dim` at
 /// hierarchy level `level`". Because leaves are DFS-numbered, ancestor
 /// ordinals are monotone in leaf id, so any term list yields a total order
@@ -144,6 +160,59 @@ class SpecComparator {
   SortSpec spec_;
 };
 
+/// `SpecComparator::CellLess` as a sorter comparator, with a normalized key
+/// prefix over the first two sort terms (term ordinals are non-negative
+/// int32s, so packing two of them big-end-first refines the term order).
+class CellSpecLess {
+ public:
+  explicit CellSpecLess(const SpecComparator* cmp) : cmp_(cmp) {}
+
+  bool operator()(const CellRecord& a, const CellRecord& b) const {
+    return cmp_->CellLess(a, b);
+  }
+
+  uint64_t KeyPrefix(const CellRecord& a) const {
+    const std::vector<SortTerm>& terms = cmp_->spec().terms();
+    uint64_t key = 0;
+    int bits = 64;
+    for (size_t t = 0; t < terms.size() && bits > 0; ++t) {
+      PackKeyBits(
+          static_cast<uint32_t>(cmp_->CellTermValue(terms[t], a.leaf)), 32,
+          &key, &bits);
+    }
+    return key;
+  }
+
+ private:
+  const SpecComparator* cmp_;
+};
+
+/// `SpecComparator::EntryLess` (region start key order) as a sorter
+/// comparator with a normalized key prefix, built like CellSpecLess.
+class EntrySpecLess {
+ public:
+  explicit EntrySpecLess(const SpecComparator* cmp) : cmp_(cmp) {}
+
+  bool operator()(const ImpreciseRecord& a, const ImpreciseRecord& b) const {
+    return cmp_->EntryLess(a, b);
+  }
+
+  uint64_t KeyPrefix(const ImpreciseRecord& a) const {
+    const std::vector<SortTerm>& terms = cmp_->spec().terms();
+    uint64_t key = 0;
+    int bits = 64;
+    for (size_t t = 0; t < terms.size() && bits > 0; ++t) {
+      PackKeyBits(static_cast<uint32_t>(
+                      cmp_->RegionStartTermValue(terms[t], a.node, a.level)),
+                  32, &key, &bits);
+    }
+    return key;
+  }
+
+ private:
+  const SpecComparator* cmp_;
+};
+
 /// Orders raw facts into "summary table order" (Section 4.1): by level
 /// vector (so precise facts, all-ones, come first and each summary table is
 /// a contiguous segment), then by region start in canonical order (so the
@@ -163,6 +232,23 @@ class SummaryOrderLess {
       if (la != lb) return la < lb;
     }
     return a.fact_id < b.fact_id;
+  }
+
+  /// Normalized key: the level vector (one byte per dimension, the first
+  /// comparison loop above), then as many leaf-begin values as still fit.
+  uint64_t KeyPrefix(const FactRecord& a) const {
+    uint64_t key = 0;
+    int bits = 64;
+    const int k = schema_->num_dims();
+    for (int d = 0; d < k && bits > 0; ++d) {
+      PackKeyBits(a.level[d], 8, &key, &bits);
+    }
+    for (int d = 0; d < k && bits > 0; ++d) {
+      uint32_t leaf =
+          static_cast<uint32_t>(schema_->dim(d).leaf_begin(a.node[d]));
+      PackKeyBits(leaf, 32, &key, &bits);
+    }
+    return key;
   }
 
  private:

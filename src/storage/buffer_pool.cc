@@ -1,5 +1,6 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace iolap {
@@ -49,6 +50,16 @@ BufferPool::BufferPool(DiskManager* disk, size_t capacity_pages)
   }
 }
 
+BufferPool::~BufferPool() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  drain_cv_.notify_all();
+  if (prefetcher_.joinable()) prefetcher_.join();
+}
+
 size_t BufferPool::pinned_pages() const {
   std::lock_guard<std::mutex> lock(mu_);
   size_t n = 0;
@@ -56,6 +67,11 @@ size_t BufferPool::pinned_pages() const {
     if (f.pin_count > 0) ++n;
   }
   return n;
+}
+
+uint64_t BufferPool::FileEpoch(FileId file) const {
+  auto it = file_epochs_.find(file);
+  return it == file_epochs_.end() ? 0 : it->second;
 }
 
 Result<int32_t> BufferPool::FindVictim() {
@@ -76,6 +92,38 @@ Result<int32_t> BufferPool::FindVictim() {
   IOLAP_RETURN_IF_ERROR(FlushFrame(frame));
   page_table_.erase(Key{frame.file, frame.page});
   ++stats_.evictions;
+  if (frame.prefetched) {
+    ++stats_.prefetch_wasted;
+    frame.prefetched = false;
+  }
+  frame.file = kInvalidFileId;
+  frame.page = -1;
+  return idx;
+}
+
+int32_t BufferPool::FindPrefetchVictim() {
+  if (!free_frames_.empty()) {
+    int32_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    return idx;
+  }
+  // Read-ahead must never displace a demand-loaded page (that could inflate
+  // the demand miss count the cost model pins). Beyond the free list it
+  // recycles at most the coldest frame, and only when that frame is itself
+  // a still-unconsumed prefetch — i.e. an abandoned hint that outlived the
+  // pool's whole demand working set. Recycling *recent* prefetches instead
+  // would let interleaved scan streams thrash each other's read-ahead on a
+  // saturated pool, paying a physical read per page yet servicing nearly
+  // every demand miss from disk anyway.
+  if (lru_.empty() || !frames_[lru_.front()].prefetched) return -1;
+  int32_t idx = lru_.front();
+  lru_.pop_front();
+  Frame& frame = frames_[idx];
+  frame.in_lru = false;
+  page_table_.erase(Key{frame.file, frame.page});
+  ++stats_.evictions;
+  ++stats_.prefetch_wasted;
+  frame.prefetched = false;
   frame.file = kInvalidFileId;
   frame.page = -1;
   return idx;
@@ -91,12 +139,64 @@ Status BufferPool::FlushFrame(Frame& frame) {
   return Status::Ok();
 }
 
+Status BufferPool::FlushFramesBatched(std::vector<int32_t>& frame_indices) {
+  std::sort(frame_indices.begin(), frame_indices.end(),
+            [this](int32_t a, int32_t b) {
+              const Frame& fa = frames_[a];
+              const Frame& fb = frames_[b];
+              if (fa.file != fb.file) return fa.file < fb.file;
+              return fa.page < fb.page;
+            });
+  std::vector<const std::byte*> pages;
+  size_t i = 0;
+  while (i < frame_indices.size()) {
+    size_t j = i + 1;
+    while (j < frame_indices.size() &&
+           frames_[frame_indices[j]].file == frames_[frame_indices[i]].file &&
+           frames_[frame_indices[j]].page ==
+               frames_[frame_indices[j - 1]].page + 1) {
+      ++j;
+    }
+    pages.clear();
+    for (size_t k = i; k < j; ++k) {
+      pages.push_back(frames_[frame_indices[k]].data.get());
+    }
+    const Frame& head = frames_[frame_indices[i]];
+    IOLAP_RETURN_IF_ERROR(disk_->WritePagesGather(
+        head.file, head.page, pages.data(), static_cast<int64_t>(j - i)));
+    for (size_t k = i; k < j; ++k) {
+      frames_[frame_indices[k]].dirty = false;
+    }
+    stats_.dirty_writebacks += static_cast<int64_t>(j - i);
+    ++stats_.writeback_batches;
+    i = j;
+  }
+  return Status::Ok();
+}
+
 Result<PageGuard> BufferPool::Pin(FileId file, PageId page) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = page_table_.find(Key{file, page});
+  if (it == page_table_.end() && read_ahead_pages() > 0) {
+    // The demand stream caught up with a hint the prefetcher hasn't run
+    // yet. Claim the request and service it inline — the block transfer
+    // still replaces the page-at-a-time reads even when no spare core ever
+    // got to it.
+    if (TryServiceQueuedPrefetch(file, page)) {
+      it = page_table_.find(Key{file, page});
+    }
+  }
   if (it != page_table_.end()) {
-    ++stats_.hits;
     Frame& frame = frames_[it->second];
+    if (frame.prefetched) {
+      // First consumption of a read-ahead frame: charge the demand read the
+      // serial pipeline would have issued here (see IoStats).
+      frame.prefetched = false;
+      ++stats_.prefetch_hits;
+      disk_->ChargeDemandRead();
+    } else {
+      ++stats_.hits;
+    }
     if (frame.in_lru) {
       lru_.erase(frame.lru_pos);
       frame.in_lru = false;
@@ -116,6 +216,7 @@ Result<PageGuard> BufferPool::Pin(FileId file, PageId page) {
   frame.page = page;
   frame.pin_count = 1;
   frame.dirty = false;
+  frame.prefetched = false;
   page_table_[Key{file, page}] = idx;
   return PageGuard(this, idx);
 }
@@ -145,6 +246,7 @@ Result<PageGuard> BufferPool::PinNew(FileId file, PageId page) {
   frame.page = page;
   frame.pin_count = 1;
   frame.dirty = false;
+  frame.prefetched = false;
   page_table_[Key{file, page}] = idx;
   return PageGuard(this, idx);
 }
@@ -159,8 +261,152 @@ void BufferPool::Unpin(int32_t frame_index) {
   }
 }
 
+void BufferPool::ConfigureReadAhead(int pages) {
+  read_ahead_pages_.store(pages < 0 ? 0 : pages, std::memory_order_relaxed);
+  if (pages <= 0) return;
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  if (!stop_ && !prefetcher_.joinable()) {
+    prefetcher_ = std::thread(&BufferPool::PrefetcherLoop, this);
+  }
+}
+
+void BufferPool::Prefetch(FileId file, PageId first, int64_t count) {
+  if (count <= 0 || read_ahead_pages() == 0) return;
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Hopeless hints are dropped at the door: with no free frame and no
+    // abandoned prefetch to recycle, enqueueing would only buy a worker
+    // wake-up that discovers the same thing (read-ahead never displaces
+    // demand pages, see FindPrefetchVictim).
+    if (free_frames_.empty() &&
+        (lru_.empty() || !frames_[lru_.front()].prefetched)) {
+      return;
+    }
+    epoch = file_epochs_[file];
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stop_ || !prefetcher_.joinable()) return;
+    queue_.push_back(PrefetchRequest{file, first, count, epoch});
+  }
+  queue_cv_.notify_one();
+}
+
+void BufferPool::PrefetcherLoop() {
+  std::vector<std::byte> staging;
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  for (;;) {
+    queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (stop_) break;
+    PrefetchRequest req = queue_.front();
+    queue_.pop_front();
+    ++in_service_;
+    lock.unlock();
+    ServicePrefetch(req, &staging);
+    lock.lock();
+    --in_service_;
+    if (queue_.empty() && in_service_ == 0) drain_cv_.notify_all();
+  }
+}
+
+void BufferPool::ServicePrefetch(const PrefetchRequest& req,
+                                 std::vector<std::byte>* staging) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServicePrefetchLocked(req, staging);
+}
+
+bool BufferPool::TryServiceQueuedPrefetch(FileId file, PageId page) {
+  PrefetchRequest req;
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> qlock(queue_mu_);
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->file == file && it->first <= page &&
+          page < it->first + it->count) {
+        req = *it;
+        queue_.erase(it);
+        found = true;
+        break;
+      }
+    }
+  }
+  if (!found) return false;
+  // Only the not-yet-demanded tail of the hint is still interesting.
+  req.count = req.first + req.count - page;
+  req.first = page;
+  std::vector<std::byte> staging;
+  ServicePrefetchLocked(req, &staging);
+  return true;
+}
+
+void BufferPool::ServicePrefetchLocked(const PrefetchRequest& req,
+                                       std::vector<std::byte>* staging) {
+  if (FileEpoch(req.file) != req.epoch) return;  // file was evicted since
+  auto size_or = disk_->SizeInPages(req.file);
+  if (!size_or.ok()) return;
+  PageId end = std::min<PageId>(req.first + req.count, size_or.value());
+  PageId p = std::max<PageId>(req.first, 0);
+  while (p < end) {
+    if (page_table_.count(Key{req.file, p}) != 0) {
+      ++p;
+      continue;
+    }
+    PageId run_end = p + 1;
+    while (run_end < end && page_table_.count(Key{req.file, run_end}) == 0) {
+      ++run_end;
+    }
+    std::vector<int32_t> victims;
+    while (static_cast<PageId>(victims.size()) < run_end - p) {
+      int32_t v = FindPrefetchVictim();
+      if (v < 0) break;
+      victims.push_back(v);
+    }
+    if (victims.empty()) return;  // no room without displacing demand pages
+    int64_t n = static_cast<int64_t>(victims.size());
+    staging->resize(static_cast<size_t>(n) * kPageSize);
+    if (!disk_->ReadPages(req.file, p, n, staging->data(), /*prefetch=*/true)
+             .ok()) {
+      // Fire-and-forget: drop the hint; a real fault resurfaces on demand.
+      for (int32_t v : victims) free_frames_.push_back(v);
+      return;
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      Frame& frame = frames_[victims[i]];
+      std::memcpy(frame.data.get(), staging->data() + i * kPageSize,
+                  kPageSize);
+      frame.file = req.file;
+      frame.page = p + i;
+      frame.pin_count = 0;
+      frame.dirty = false;
+      frame.prefetched = true;
+      lru_.push_back(victims[i]);
+      frame.lru_pos = std::prev(lru_.end());
+      frame.in_lru = true;
+      page_table_[Key{req.file, frame.page}] = victims[i];
+    }
+    p += n;
+  }
+}
+
+void BufferPool::DrainPrefetches() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  drain_cv_.wait(lock, [&] {
+    return stop_ || (queue_.empty() && in_service_ == 0);
+  });
+}
+
 Status BufferPool::FlushFile(FileId file) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (batched_writeback()) {
+    std::vector<int32_t> dirty;
+    for (size_t i = 0; i < frames_.size(); ++i) {
+      if (frames_[i].file == file && frames_[i].dirty) {
+        dirty.push_back(static_cast<int32_t>(i));
+      }
+    }
+    return FlushFramesBatched(dirty);
+  }
   for (Frame& frame : frames_) {
     if (frame.file == file) IOLAP_RETURN_IF_ERROR(FlushFrame(frame));
   }
@@ -168,7 +414,19 @@ Status BufferPool::FlushFile(FileId file) {
 }
 
 Status BufferPool::EvictFile(FileId file) {
+  {
+    // Cancel queued prefetches first (without mu_; see lock ordering note),
+    // then bump the epoch so any request already popped by the worker is
+    // dropped at its epoch check.
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                                [file](const PrefetchRequest& r) {
+                                  return r.file == file;
+                                }),
+                 queue_.end());
+  }
   std::lock_guard<std::mutex> lock(mu_);
+  ++file_epochs_[file];
   for (size_t i = 0; i < frames_.size(); ++i) {
     Frame& frame = frames_[i];
     if (frame.file != file) continue;
@@ -178,20 +436,38 @@ Status BufferPool::EvictFile(FileId file) {
           std::to_string(file) + " is pinned");
     }
     IOLAP_RETURN_IF_ERROR(FlushFrame(frame));
-    page_table_.erase(Key{frame.file, frame.page});
-    if (frame.in_lru) {
-      lru_.erase(frame.lru_pos);
-      frame.in_lru = false;
-    }
-    frame.file = kInvalidFileId;
-    frame.page = -1;
-    free_frames_.push_back(static_cast<int32_t>(i));
+    ReleaseFrame(i);
   }
   return Status::Ok();
 }
 
+void BufferPool::ReleaseFrame(size_t frame_index) {
+  Frame& frame = frames_[frame_index];
+  page_table_.erase(Key{frame.file, frame.page});
+  if (frame.in_lru) {
+    lru_.erase(frame.lru_pos);
+    frame.in_lru = false;
+  }
+  if (frame.prefetched) {
+    ++stats_.prefetch_wasted;
+    frame.prefetched = false;
+  }
+  frame.file = kInvalidFileId;
+  frame.page = -1;
+  free_frames_.push_back(static_cast<int32_t>(frame_index));
+}
+
 Status BufferPool::FlushAll() {
   std::lock_guard<std::mutex> lock(mu_);
+  if (batched_writeback()) {
+    std::vector<int32_t> dirty;
+    for (size_t i = 0; i < frames_.size(); ++i) {
+      if (frames_[i].file != kInvalidFileId && frames_[i].dirty) {
+        dirty.push_back(static_cast<int32_t>(i));
+      }
+    }
+    return FlushFramesBatched(dirty);
+  }
   for (Frame& frame : frames_) {
     if (frame.file != kInvalidFileId) IOLAP_RETURN_IF_ERROR(FlushFrame(frame));
   }

@@ -1,10 +1,14 @@
 #ifndef IOLAP_STORAGE_BUFFER_POOL_H_
 #define IOLAP_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -59,9 +63,18 @@ class PageGuard {
 /// evicted or re-assigned, and the frame buffers are allocated once in the
 /// constructor, so `data()` pointers stay stable. Concurrent readers of one
 /// page are safe; writers of one page must be externally serialized.
+///
+/// Read-ahead: `Prefetch` enqueues a hint serviced by one background
+/// prefetcher thread. Prefetched frames enter the pool unpinned (evictable)
+/// and are counted as *prefetch* reads; the demand read is charged when a
+/// Pin consumes the frame, so `IoStats::page_reads` stays exactly the
+/// demand I/O the serial pipeline would issue (what the cost model pins).
+/// The prefetcher never evicts a demand-loaded frame: it only fills free
+/// frames or replaces still-unconsumed prefetched frames.
 class BufferPool {
  public:
   BufferPool(DiskManager* disk, size_t capacity_pages);
+  ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -74,15 +87,43 @@ class BufferPool {
   /// size in pages.
   Result<PageGuard> PinNew(FileId file, PageId page);
 
+  /// Hints that pages [first, first + count) of `file` will be read soon.
+  /// Fire-and-forget: requests past EOF, already-cached pages, and requests
+  /// raced by `EvictFile` are silently dropped. No-op while read-ahead is
+  /// unconfigured (`read_ahead_pages() == 0`).
+  void Prefetch(FileId file, PageId first, int64_t count);
+
+  /// Sets the read-ahead distance sequential readers should hint (0
+  /// disables prefetching). Starts the background prefetcher on first
+  /// enable.
+  void ConfigureReadAhead(int pages);
+  int read_ahead_pages() const {
+    return read_ahead_pages_.load(std::memory_order_relaxed);
+  }
+
+  /// Toggles coalescing of contiguous dirty pages into vectored writes on
+  /// FlushFile/FlushAll (eviction write-back is always per-page).
+  void set_batched_writeback(bool on) {
+    batched_writeback_.store(on, std::memory_order_relaxed);
+  }
+  bool batched_writeback() const {
+    return batched_writeback_.load(std::memory_order_relaxed);
+  }
+
   /// Writes back all dirty pages of `file` (keeps them cached).
   Status FlushFile(FileId file);
 
-  /// Writes back and drops every cached page of `file`. Required before
-  /// accessing the file through a different channel (e.g. external sort).
+  /// Writes back and drops every cached page of `file`, cancelling any
+  /// outstanding prefetches for it. Required before accessing the file
+  /// through a different channel (e.g. external sort).
   Status EvictFile(FileId file);
 
   /// Flushes every dirty page in the pool.
   Status FlushAll();
+
+  /// Blocks until every prefetch enqueued so far has been serviced or
+  /// dropped. Test-only determinism hook.
+  void DrainPrefetches();
 
   size_t capacity_pages() const { return capacity_; }
   size_t pinned_pages() const;
@@ -105,6 +146,7 @@ class BufferPool {
     PageId page = -1;
     int32_t pin_count = 0;
     bool dirty = false;
+    bool prefetched = false;  // loaded by read-ahead, not yet consumed
     std::list<int32_t>::iterator lru_pos;  // valid iff in_lru
     bool in_lru = false;
     std::unique_ptr<std::byte[]> data;
@@ -124,9 +166,29 @@ class BufferPool {
     }
   };
 
-  // All private helpers require mu_ to be held by the caller.
+  struct PrefetchRequest {
+    FileId file = kInvalidFileId;
+    PageId first = 0;
+    int64_t count = 0;
+    uint64_t epoch = 0;  // file epoch at enqueue; stale requests are dropped
+  };
+
+  // All private helpers below require mu_ to be held by the caller.
   Result<int32_t> FindVictim();
+  int32_t FindPrefetchVictim();
   Status FlushFrame(Frame& frame);
+  Status FlushFramesBatched(std::vector<int32_t>& frame_indices);
+  void ReleaseFrame(size_t frame_index);
+  uint64_t FileEpoch(FileId file) const;
+  void ServicePrefetchLocked(const PrefetchRequest& req,
+                             std::vector<std::byte>* staging);
+  bool TryServiceQueuedPrefetch(FileId file, PageId page);
+
+  void ServicePrefetch(const PrefetchRequest& req,
+                       std::vector<std::byte>* staging);
+
+  void PrefetcherLoop();
+
   void Unpin(int32_t frame_index);
   void SetDirty(int32_t frame_index) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -145,7 +207,23 @@ class BufferPool {
   std::vector<int32_t> free_frames_;
   std::list<int32_t> lru_;  // front = least recently used, unpinned only
   std::unordered_map<Key, int32_t, KeyHash> page_table_;
+  std::unordered_map<FileId, uint64_t> file_epochs_;  // bumped by EvictFile
   PoolStats stats_;
+  std::atomic<int> read_ahead_pages_{0};
+  std::atomic<bool> batched_writeback_{true};
+
+  // Prefetcher state. Lock ordering: mu_ may be held when taking queue_mu_
+  // (a Pin miss claiming a queued request), never the reverse — the worker
+  // pops under queue_mu_ and releases it before servicing under mu_;
+  // enqueuers snapshot the epoch under mu_, release it, then take
+  // queue_mu_; EvictFile purges the queue before taking mu_.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable drain_cv_;
+  std::deque<PrefetchRequest> queue_;
+  int64_t in_service_ = 0;  // requests popped but not yet finished
+  bool stop_ = false;
+  std::thread prefetcher_;
 };
 
 }  // namespace iolap

@@ -2,8 +2,10 @@
 
 #include <fcntl.h>
 #include <sys/stat.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <mutex>
@@ -15,6 +17,9 @@ namespace {
 std::string ErrnoMessage(const std::string& op, const std::string& path) {
   return op + " failed for " + path + ": " + std::strerror(errno);
 }
+
+// Keep gather writes comfortably under IOV_MAX (1024 on Linux).
+constexpr int64_t kMaxIov = 256;
 
 }  // namespace
 
@@ -55,46 +60,129 @@ Result<DiskManager::FileState*> DiskManager::GetFile(FileId file) const {
   return it->second.get();
 }
 
+Status DiskManager::Inject(char op, FileId file, PageId first, int64_t n) {
+  if (!fault_injector_) return Status::Ok();
+  // One injector call per page keeps countdown-style injectors hitting the
+  // same fault points whether the pages move in one transfer or many.
+  std::lock_guard<std::mutex> lock(injector_mu_);
+  for (int64_t i = 0; i < n; ++i) {
+    IOLAP_RETURN_IF_ERROR(fault_injector_(op, file, first + i));
+  }
+  return Status::Ok();
+}
+
+Status DiskManager::GrowTo(FileState* state, PageId end_page) {
+  // Appends to one file come from a single thread (see the class comment),
+  // so this read-compare-store does not race with another append.
+  if (end_page > state->size_pages.load()) {
+    state->size_pages.store(end_page);
+  }
+  return Status::Ok();
+}
+
 Status DiskManager::ReadPage(FileId file, PageId page, void* buffer) {
-  if (fault_injector_) {
-    IOLAP_RETURN_IF_ERROR(fault_injector_('r', file, page));
+  return ReadPages(file, page, 1, buffer, /*prefetch=*/false);
+}
+
+Status DiskManager::ReadPages(FileId file, PageId first, int64_t n,
+                              void* buffer, bool prefetch) {
+  if (!prefetch) {
+    IOLAP_RETURN_IF_ERROR(Inject('r', file, first, n));
   }
   IOLAP_ASSIGN_OR_RETURN(FileState * state, GetFile(file));
-  if (page < 0 || page >= state->size_pages.load()) {
+  if (n <= 0) {
+    return Status::InvalidArgument("ReadPages of a non-positive page count");
+  }
+  if (first < 0 || first + n > state->size_pages.load()) {
     return Status::OutOfRange(
-        "read of page " + std::to_string(page) + " beyond file of " +
+        "read of pages [" + std::to_string(first) + "," +
+        std::to_string(first + n) + ") beyond file of " +
         std::to_string(state->size_pages.load()) + " pages");
   }
-  ssize_t n = ::pread(state->fd, buffer, kPageSize,
-                      static_cast<off_t>(page) * kPageSize);
-  if (n != static_cast<ssize_t>(kPageSize)) {
+  ssize_t want = static_cast<ssize_t>(n) * static_cast<ssize_t>(kPageSize);
+  ssize_t got = ::pread(state->fd, buffer, static_cast<size_t>(want),
+                        static_cast<off_t>(first) * kPageSize);
+  if (got != want) {
     return Status::IoError(ErrnoMessage("pread", state->path));
   }
-  page_reads_.fetch_add(1, std::memory_order_relaxed);
+  auto& counter = prefetch ? prefetch_reads_ : page_reads_;
+  counter.fetch_add(n, std::memory_order_relaxed);
   return Status::Ok();
 }
 
 Status DiskManager::WritePage(FileId file, PageId page, const void* buffer) {
-  if (fault_injector_) {
-    IOLAP_RETURN_IF_ERROR(fault_injector_('w', file, page));
-  }
+  return WritePages(file, page, 1, buffer);
+}
+
+Status DiskManager::WritePages(FileId file, PageId first, int64_t n,
+                               const void* buffer) {
+  IOLAP_RETURN_IF_ERROR(Inject('w', file, first, n));
   IOLAP_ASSIGN_OR_RETURN(FileState * state, GetFile(file));
+  if (n <= 0) {
+    return Status::InvalidArgument("WritePages of a non-positive page count");
+  }
   int64_t size = state->size_pages.load();
-  if (page < 0 || page > size) {
-    return Status::OutOfRange("write of page " + std::to_string(page) +
+  if (first < 0 || first > size) {
+    return Status::OutOfRange("write of page " + std::to_string(first) +
                               " would leave a hole in file of " +
                               std::to_string(size) + " pages");
   }
-  ssize_t n = ::pwrite(state->fd, buffer, kPageSize,
-                       static_cast<off_t>(page) * kPageSize);
-  if (n != static_cast<ssize_t>(kPageSize)) {
+  ssize_t want = static_cast<ssize_t>(n) * static_cast<ssize_t>(kPageSize);
+  ssize_t put = ::pwrite(state->fd, buffer, static_cast<size_t>(want),
+                         static_cast<off_t>(first) * kPageSize);
+  if (put != want) {
     return Status::IoError(ErrnoMessage("pwrite", state->path));
   }
-  // Appends to one file come from a single thread (see the class comment),
-  // so this read-compare-store does not race with another append.
-  if (page == size) state->size_pages.store(size + 1);
-  page_writes_.fetch_add(1, std::memory_order_relaxed);
+  IOLAP_RETURN_IF_ERROR(GrowTo(state, first + n));
+  page_writes_.fetch_add(n, std::memory_order_relaxed);
   return Status::Ok();
+}
+
+Status DiskManager::WritePagesGather(FileId file, PageId first,
+                                     const std::byte* const* pages,
+                                     int64_t n) {
+  IOLAP_RETURN_IF_ERROR(Inject('w', file, first, n));
+  IOLAP_ASSIGN_OR_RETURN(FileState * state, GetFile(file));
+  if (n <= 0) {
+    return Status::InvalidArgument("gather write of a non-positive count");
+  }
+  int64_t size = state->size_pages.load();
+  if (first < 0 || first > size) {
+    return Status::OutOfRange("gather write at page " + std::to_string(first) +
+                              " would leave a hole in file of " +
+                              std::to_string(size) + " pages");
+  }
+  int64_t done = 0;
+  while (done < n) {
+    int64_t batch = std::min(n - done, kMaxIov);
+    struct iovec iov[kMaxIov];
+    for (int64_t i = 0; i < batch; ++i) {
+      iov[i].iov_base = const_cast<std::byte*>(pages[done + i]);
+      iov[i].iov_len = kPageSize;
+    }
+    ssize_t want = static_cast<ssize_t>(batch) * static_cast<ssize_t>(kPageSize);
+    ssize_t put = ::pwritev(state->fd, iov, static_cast<int>(batch),
+                            static_cast<off_t>(first + done) * kPageSize);
+    if (put != want) {
+      return Status::IoError(ErrnoMessage("pwritev", state->path));
+    }
+    done += batch;
+  }
+  IOLAP_RETURN_IF_ERROR(GrowTo(state, first + n));
+  page_writes_.fetch_add(n, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status DiskManager::Preallocate(FileId file, int64_t pages) {
+  IOLAP_ASSIGN_OR_RETURN(FileState * state, GetFile(file));
+  if (pages < 0) {
+    return Status::InvalidArgument("Preallocate to a negative size");
+  }
+  if (pages <= state->size_pages.load()) return Status::Ok();
+  if (::ftruncate(state->fd, static_cast<off_t>(pages) * kPageSize) != 0) {
+    return Status::IoError(ErrnoMessage("ftruncate", state->path));
+  }
+  return GrowTo(state, pages);
 }
 
 Result<int64_t> DiskManager::SizeInPages(FileId file) const {

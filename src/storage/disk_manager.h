@@ -2,12 +2,15 @@
 #define IOLAP_STORAGE_DISK_MANAGER_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -34,8 +37,11 @@ inline constexpr FileId kInvalidFileId = -1;
 /// guarded by a reader/writer lock and the I/O counters are atomic).
 /// Concurrent writes to the *same* page, and racing appends to the same
 /// file, are the caller's responsibility to serialize — the parallel
-/// execution layer only ever writes from one thread per file.
-/// `SetFaultInjector` must be called before any concurrent use.
+/// execution layer only ever writes from one thread per file (parallel sort
+/// workers write disjoint preallocated page ranges).
+/// `SetFaultInjector` must be called before any concurrent use; injector
+/// invocations themselves are serialized by an internal mutex so stateful
+/// test injectors (countdowns) stay well-defined under concurrency.
 class DiskManager {
  public:
   /// Creates (if needed) and takes over `directory`. Files created by this
@@ -54,10 +60,36 @@ class DiskManager {
   /// page at or beyond the current size is an error.
   Status ReadPage(FileId file, PageId page, void* buffer);
 
+  /// Reads `n` consecutive pages starting at `first` into `buffer`
+  /// (n * kPageSize bytes) with one positional read. `prefetch` selects the
+  /// I/O class: demand reads count into `IoStats::page_reads` and pass the
+  /// fault injector; prefetch reads count into `IoStats::prefetch_reads`
+  /// and bypass the injector (a failed read-ahead is dropped by the caller
+  /// and the fault, if real, resurfaces on the demand read).
+  Status ReadPages(FileId file, PageId first, int64_t n, void* buffer,
+                   bool prefetch = false);
+
   /// Writes `buffer` (kPageSize bytes) to page `page`, growing the file if
   /// `page` is the first page past the end. Writing further past the end is
   /// an error (pages are always allocated densely).
   Status WritePage(FileId file, PageId page, const void* buffer);
+
+  /// Writes `n` consecutive pages starting at `first` from a contiguous
+  /// buffer with one positional write, growing the file if the range
+  /// extends it (`first` must not leave a hole). Counts `n` page writes.
+  Status WritePages(FileId file, PageId first, int64_t n, const void* buffer);
+
+  /// Vectored variant of WritePages: the pages live in `n` separate
+  /// kPageSize buffers (e.g. buffer-pool frames) and are written with
+  /// pwritev. Same growth rule and counting as WritePages.
+  Status WritePagesGather(FileId file, PageId first,
+                          const std::byte* const* pages, int64_t n);
+
+  /// Extends `file` with zero pages up to `pages` total (no-op if already
+  /// that large). Not counted as page I/O: it reserves address space so
+  /// concurrent writers can fill disjoint ranges without the dense-growth
+  /// append rule serializing them.
+  Status Preallocate(FileId file, int64_t pages);
 
   /// Number of pages currently in `file`.
   Result<int64_t> SizeInPages(FileId file) const;
@@ -68,6 +100,14 @@ class DiskManager {
   /// Closes and unlinks `file`.
   Status DeleteFile(FileId file);
 
+  /// Charges one demand page read without touching disk. The buffer pool
+  /// calls this when a pin consumes a read-ahead frame, so `page_reads`
+  /// counts exactly the demand I/Os the serial pipeline would have issued
+  /// (see IoStats).
+  void ChargeDemandRead() {
+    page_reads_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Race-free snapshot of the I/O counters (the counters themselves are
   /// atomics, so concurrent reads and writes keep incrementing while the
   /// snapshot is taken).
@@ -75,11 +115,13 @@ class DiskManager {
     IoStats out;
     out.page_reads = page_reads_.load(std::memory_order_relaxed);
     out.page_writes = page_writes_.load(std::memory_order_relaxed);
+    out.prefetch_reads = prefetch_reads_.load(std::memory_order_relaxed);
     return out;
   }
   void ResetStats() {
     page_reads_.store(0, std::memory_order_relaxed);
     page_writes_.store(0, std::memory_order_relaxed);
+    prefetch_reads_.store(0, std::memory_order_relaxed);
   }
 
   const std::string& directory() const { return directory_; }
@@ -101,6 +143,8 @@ class DiskManager {
   };
 
   Result<FileState*> GetFile(FileId file) const;
+  Status Inject(char op, FileId file, PageId first, int64_t n);
+  Status GrowTo(FileState* state, PageId end_page);
 
   std::string directory_;
   FileId next_file_id_ = 0;
@@ -108,8 +152,10 @@ class DiskManager {
   // readers can use the state after dropping the shared lock.
   std::unordered_map<FileId, std::unique_ptr<FileState>> files_;
   mutable std::shared_mutex mu_;  // guards files_ / next_file_id_
+  std::mutex injector_mu_;        // serializes stateful fault injectors
   std::atomic<int64_t> page_reads_{0};
   std::atomic<int64_t> page_writes_{0};
+  std::atomic<int64_t> prefetch_reads_{0};
   FaultInjector fault_injector_;
 };
 

@@ -182,6 +182,87 @@ TEST_F(BufferPoolTest, MoveSemanticsOfGuard) {
   EXPECT_EQ(pool.pinned_pages(), 0u);
 }
 
+TEST_F(BufferPoolTest, PrefetchChargesDemandReadOnConsumption) {
+  FileId f = NewFileWithPages(6);
+  BufferPool pool(&disk_, 8);
+  pool.ConfigureReadAhead(4);
+  disk_.ResetStats();
+  pool.Prefetch(f, 0, 4);
+  pool.DrainPrefetches();
+  // The physical reads are prefetch reads; no demand read happened yet.
+  EXPECT_EQ(disk_.stats().prefetch_reads, 4);
+  EXPECT_EQ(disk_.stats().page_reads, 0);
+  for (PageId p = 0; p < 4; ++p) {
+    IOLAP_ASSERT_OK_AND_ASSIGN(PageGuard g, pool.Pin(f, p));
+    EXPECT_EQ(g.data()[0], std::byte{static_cast<unsigned char>(p)});
+  }
+  // Consumption charges exactly the demand reads the serial pipeline would
+  // have issued (the cost-model counter), without new physical traffic.
+  EXPECT_EQ(disk_.stats().page_reads, 4);
+  EXPECT_EQ(disk_.stats().prefetch_reads, 4);
+  EXPECT_EQ(pool.stats().prefetch_hits, 4);
+  EXPECT_EQ(pool.stats().prefetch_wasted, 0);
+  EXPECT_EQ(pool.stats().misses, 0);
+}
+
+TEST_F(BufferPoolTest, PrefetchedPagesAreEvictableByDemand) {
+  FileId f = NewFileWithPages(4);
+  BufferPool pool(&disk_, 2);
+  pool.ConfigureReadAhead(2);
+  pool.Prefetch(f, 0, 2);
+  pool.DrainPrefetches();
+  // Prefetched frames are unpinned: two demand pins of other pages must
+  // succeed by evicting them, and the unconsumed frames count as wasted.
+  { IOLAP_ASSERT_OK_AND_ASSIGN(PageGuard g, pool.Pin(f, 2)); (void)g; }
+  { IOLAP_ASSERT_OK_AND_ASSIGN(PageGuard g, pool.Pin(f, 3)); (void)g; }
+  EXPECT_EQ(pool.stats().prefetch_wasted, 2);
+  EXPECT_EQ(pool.stats().prefetch_hits, 0);
+}
+
+TEST_F(BufferPoolTest, EvictFileCancelsOutstandingPrefetches) {
+  FileId f = NewFileWithPages(4);
+  BufferPool pool(&disk_, 8);
+  pool.ConfigureReadAhead(4);
+  pool.Prefetch(f, 0, 4);
+  IOLAP_ASSERT_OK(pool.EvictFile(f));
+  pool.DrainPrefetches();
+  // Whatever the prefetcher managed before the eviction, no page of the
+  // file may remain cached: the next pin is a demand miss.
+  pool.ResetStats();
+  { IOLAP_ASSERT_OK_AND_ASSIGN(PageGuard g, pool.Pin(f, 0)); (void)g; }
+  EXPECT_EQ(pool.stats().misses, 1);
+  EXPECT_EQ(pool.stats().prefetch_hits, 0);
+}
+
+TEST_F(BufferPoolTest, PrefetchBacksOffWhenPoolIsSaturated) {
+  FileId f = NewFileWithPages(4);
+  BufferPool pool(&disk_, 2);
+  pool.ConfigureReadAhead(2);
+  // Fill the pool with demand pages, then hint: read-ahead must not
+  // displace them, so no physical prefetch read may happen.
+  { IOLAP_ASSERT_OK_AND_ASSIGN(PageGuard g, pool.Pin(f, 0)); (void)g; }
+  { IOLAP_ASSERT_OK_AND_ASSIGN(PageGuard g, pool.Pin(f, 1)); (void)g; }
+  disk_.ResetStats();
+  pool.Prefetch(f, 2, 2);
+  pool.DrainPrefetches();
+  EXPECT_EQ(disk_.stats().prefetch_reads, 0);
+  // The demand pages are still cached.
+  pool.ResetStats();
+  { IOLAP_ASSERT_OK_AND_ASSIGN(PageGuard g, pool.Pin(f, 0)); (void)g; }
+  { IOLAP_ASSERT_OK_AND_ASSIGN(PageGuard g, pool.Pin(f, 1)); (void)g; }
+  EXPECT_EQ(pool.stats().misses, 0);
+}
+
+TEST_F(BufferPoolTest, PrefetchIsNoOpWhileUnconfigured) {
+  FileId f = NewFileWithPages(2);
+  BufferPool pool(&disk_, 4);
+  disk_.ResetStats();
+  pool.Prefetch(f, 0, 2);
+  pool.DrainPrefetches();
+  EXPECT_EQ(disk_.stats().prefetch_reads, 0);
+  EXPECT_EQ(disk_.stats().page_reads, 0);
+}
+
 TEST_F(BufferPoolTest, LruOrderIsRecencyBased) {
   FileId f = NewFileWithPages(3);
   BufferPool pool(&disk_, 2);

@@ -11,9 +11,13 @@
 //       [--policy=count|measure|uniform] [--algorithm=transitive|block|
 //        independent|basic] [--epsilon=0.005] [--buffer-pages=4096]
 //       [--threads=1]
+//       [--serial-io=1] [--sort-threads=N] [--merge-block-pages=N]
+//       [--read-ahead-pages=N] [--batched-writeback=0|1]
 //       Builds the Extended Database and writes it as CSV. --threads > 1
 //       runs Transitive's components in parallel (output is byte-identical
-//       to the serial run).
+//       to the serial run). The I/O pipeline flags tune the storage layer
+//       (--serial-io=1 selects the fully serial baseline; individual flags
+//       override it); every setting produces a byte-identical EDB.
 //
 //   iolap_cli query --schema=s.csv --facts=f.csv --dim=<name> --node=<name>
 //       [--func=sum|count|avg]
@@ -52,6 +56,20 @@ PolicyKind ParsePolicy(const std::string& name) {
   if (name == "measure") return PolicyKind::kMeasure;
   if (name == "uniform") return PolicyKind::kUniform;
   return PolicyKind::kCount;
+}
+
+IoPipelineOptions ParsePipeline(const Flags& flags) {
+  IoPipelineOptions io;
+  if (flags.GetInt("serial-io", 0) != 0) io = IoPipelineOptions::Serial();
+  io.sort_threads =
+      static_cast<int>(flags.GetInt("sort-threads", io.sort_threads));
+  io.merge_block_pages = static_cast<int>(
+      flags.GetInt("merge-block-pages", io.merge_block_pages));
+  io.read_ahead_pages = static_cast<int>(
+      flags.GetInt("read-ahead-pages", io.read_ahead_pages));
+  io.batched_writeback =
+      flags.GetInt("batched-writeback", io.batched_writeback ? 1 : 0) != 0;
+  return io;
 }
 
 int CmdSample(const Flags& flags) {
@@ -122,6 +140,7 @@ int CmdAllocate(const Flags& flags) {
       ParseAlgorithm(flags.GetString("algorithm", "transitive"));
   options.epsilon = flags.GetDouble("epsilon", 0.005);
   options.num_threads = static_cast<int>(flags.GetInt("threads", 1));
+  options.io = ParsePipeline(flags);
   const int64_t num_facts = facts.size();
   AllocationResult result =
       Unwrap(Allocator::Run(env, schema, &facts, options));
@@ -155,6 +174,7 @@ int CmdQuery(const Flags& flags) {
   AllocationOptions options;
   options.policy = ParsePolicy(flags.GetString("policy", "count"));
   options.num_threads = static_cast<int>(flags.GetInt("threads", 1));
+  options.io = ParsePipeline(flags);
   AllocationResult result =
       Unwrap(Allocator::Run(env, schema, &facts, options));
 
