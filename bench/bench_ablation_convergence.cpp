@@ -18,6 +18,7 @@ using namespace iolap;
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  auto obs = ObsFromFlags(flags);
   const int64_t facts_n = flags.GetInt("facts", 150'000);
 
   StarSchema schema = Unwrap(MakeAutomotiveSchema());

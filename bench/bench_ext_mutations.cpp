@@ -17,6 +17,7 @@ using namespace iolap;
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  auto obs = ObsFromFlags(flags);
   const int64_t facts_n = flags.GetInt("facts", 60'000);
   const int64_t buffer_pages = flags.GetInt("buffer_pages", 4096);
 

@@ -41,6 +41,7 @@ void RunFigure(const StarSchema& schema, const DatasetSpec& spec,
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  auto obs = ObsFromFlags(flags);
   // The paper uses the full 797,570-fact table with a 40 MB buffer (data
   // 32 MB). Defaults here are scaled for a quick run; pass --facts=797570
   // for the paper-scale experiment.

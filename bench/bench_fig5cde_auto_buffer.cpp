@@ -16,6 +16,7 @@ using namespace iolap;
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  auto obs = ObsFromFlags(flags);
   const int64_t facts = flags.GetInt("facts", 100'000);
   const int64_t data_pages = EstimateDataPages(facts, 0.3);
 

@@ -81,6 +81,7 @@ Result<SortMeasurement> TimeSort(const StarSchema& schema, int64_t facts,
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  auto obs = ObsFromFlags(flags);
   const int64_t facts = flags.GetInt("facts", 100'000);
   const int repeats = static_cast<int>(flags.GetInt("repeats", 3));
   JsonWriter json(flags.GetString("json", "BENCH_io_pipeline.json"));

@@ -71,6 +71,7 @@ void RunFigure(const StarSchema& schema, const DatasetSpec& spec,
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  auto obs = ObsFromFlags(flags);
   const int64_t facts = flags.GetInt("facts", 100'000);
   const int64_t buffer_pages =
       flags.GetInt("buffer_pages", 4 * EstimateDataPages(facts, 0.3));

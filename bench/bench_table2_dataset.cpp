@@ -68,6 +68,7 @@ void ReportDataset(const StarSchema& schema, const DatasetSpec& spec,
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  auto obs = ObsFromFlags(flags);
   const int64_t facts = flags.GetInt("facts", 200'000);
 
   StarSchema schema = Unwrap(MakeAutomotiveSchema());

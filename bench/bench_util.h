@@ -11,6 +11,8 @@
 #include "datagen/generator.h"
 #include "datagen/table2.h"
 #include "examples/example_util.h"
+#include "obs/json_util.h"
+#include "obs/obs.h"
 #include "storage/storage_env.h"
 
 namespace iolap {
@@ -58,8 +60,13 @@ inline int64_t EstimateDataPages(int64_t facts, double imprecise_fraction) {
   const int64_t cells =
       static_cast<int64_t>(facts * (1 - imprecise_fraction));
   const int64_t imprecise = static_cast<int64_t>(facts * imprecise_fraction);
-  return cells / TypedFile<CellRecord>::kRecordsPerPage +
-         imprecise / TypedFile<ImpreciseRecord>::kRecordsPerPage + 2;
+  // Ceiling division: a partially-filled last page is still a page the
+  // scan pays for, and floor would skew buffer-fraction sweeps at small
+  // scales.
+  const int64_t cell_rpp = TypedFile<CellRecord>::kRecordsPerPage;
+  const int64_t imp_rpp = TypedFile<ImpreciseRecord>::kRecordsPerPage;
+  return (cells + cell_rpp - 1) / cell_rpp +
+         (imprecise + imp_rpp - 1) / imp_rpp + 2;
 }
 
 /// As RunOnce, but with the full AllocationOptions (algorithm/epsilon in
@@ -78,11 +85,20 @@ inline void PrintHeader(const char* title) {
   std::printf("\n==== %s ====\n", title);
 }
 
+/// Installs observability for a bench run from the standard
+/// `--metrics-out=` / `--trace-out=` flags. Hold the returned object for
+/// the duration of main(); with neither flag present it is inert.
+inline std::unique_ptr<ScopedObservability> ObsFromFlags(const Flags& flags) {
+  return std::make_unique<ScopedObservability>(
+      flags.GetString("metrics-out", ""), flags.GetString("trace-out", ""));
+}
+
 /// Minimal emitter for machine-readable bench output: a JSON array of flat
-/// objects, one per measured configuration. Keys and string values are
-/// written verbatim (callers use plain identifiers), doubles with enough
-/// digits to round-trip. Rows accumulate in memory; Write() lands the file
-/// atomically enough for the experiment scripts (single writer).
+/// objects, one per measured configuration. Strings are escaped and
+/// non-finite doubles become null (JSON has no inf/nan), via the shared
+/// escaper in obs/json_util.h; finite doubles get enough digits to
+/// round-trip. Rows accumulate in memory; Write() lands the file atomically
+/// enough for the experiment scripts (single writer).
 class JsonWriter {
  public:
   explicit JsonWriter(std::string path) : path_(std::move(path)) {}
@@ -94,19 +110,15 @@ class JsonWriter {
   }
   void Field(const char* key, const char* value) {
     AppendKey(key);
-    rows_ += '"';
-    rows_ += value;
-    rows_ += '"';
+    AppendJsonString(&rows_, value);
   }
   void Field(const char* key, int64_t value) {
     AppendKey(key);
     rows_ += std::to_string(value);
   }
   void Field(const char* key, double value) {
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.9g", value);
     AppendKey(key);
-    rows_ += buf;
+    AppendJsonDouble(&rows_, value);
   }
   void Field(const char* key, bool value) {
     AppendKey(key);
@@ -131,9 +143,8 @@ class JsonWriter {
   void AppendKey(const char* key) {
     if (!first_field_) rows_ += ", ";
     first_field_ = false;
-    rows_ += '"';
-    rows_ += key;
-    rows_ += "\": ";
+    AppendJsonString(&rows_, key);
+    rows_ += ": ";
   }
 
   std::string path_;

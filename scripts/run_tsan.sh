@@ -3,8 +3,10 @@
 # concurrent paths: the thread-safe storage layer (BufferPool/DiskManager,
 # including the background prefetcher), the exec subsystem
 # (ThreadPool/ParallelScheduler), the external sorter's parallel run
-# generation, and the component-parallel Transitive allocator. Zero reported
-# races is a release gate for the parallel execution subsystem.
+# generation, the component-parallel Transitive allocator, and the
+# observability layer (lock-free metrics, trace collection from worker
+# threads). Zero reported races is a release gate for the parallel
+# execution subsystem.
 #
 #   scripts/run_tsan.sh [extra ctest args...]
 
@@ -15,10 +17,11 @@ BUILD=build-tsan
 cmake -B "$BUILD" -G Ninja -DIOLAP_SANITIZE=thread
 cmake --build "$BUILD" --target \
   buffer_pool_test disk_manager_test thread_pool_test \
-  parallel_transitive_test external_sort_test io_pipeline_equivalence_test
+  parallel_transitive_test external_sort_test io_pipeline_equivalence_test \
+  obs_test
 
 export TSAN_OPTIONS="halt_on_error=0:exitcode=66:${TSAN_OPTIONS:-}"
 ctest --test-dir "$BUILD" --output-on-failure \
-  -R 'BufferPool|DiskManager|ThreadPool|ParallelScheduler|ParallelTransitive|ExternalSort|IoPipeline' \
+  -R 'BufferPool|DiskManager|ThreadPool|ParallelScheduler|ParallelTransitive|ExternalSort|IoPipeline|Metrics|Trace|Obs|ScopedObservability|JsonUtil' \
   "$@"
 echo "TSan run clean."

@@ -1,5 +1,6 @@
 #include "alloc/algorithms.h"
 #include "alloc/in_memory.h"
+#include "obs/trace.h"
 
 namespace iolap {
 
@@ -7,6 +8,7 @@ Status RunBasic(StorageEnv& env, const StarSchema& schema,
                 PreparedDataset* data, const AllocationOptions& options,
                 AllocationResult* result) {
   BufferPool& pool = env.pool();
+  TraceSpan load_span("basic.load");
 
   std::vector<CellRecord> cells;
   cells.reserve(data->cells.size());
@@ -29,14 +31,22 @@ Status RunBasic(StorageEnv& env, const StarSchema& schema,
     }
   }
 
+  load_span.End();
+
   MemoryAllocator ma(&schema, std::move(cells), std::move(entries));
-  result->iterations = ma.Iterate(options.epsilon,
-                                  options.EffectiveMaxIterations(),
-                                  /*force_all_iterations=*/false);
+  {
+    TraceSpan iterate_span("basic.iterate");
+    result->iterations = ma.Iterate(options.epsilon,
+                                    options.EffectiveMaxIterations(),
+                                    /*force_all_iterations=*/false);
+    iterate_span.AddArg("iterations", result->iterations);
+  }
+  TraceSpan emit_span("basic.emit");
   auto appender = result->edb.MakeAppender(pool);
   IOLAP_RETURN_IF_ERROR(ma.Emit(&appender, &result->edges_emitted,
                                 &result->unallocatable_facts));
   appender.Close();
+  emit_span.AddArg("edges", result->edges_emitted);
   return Status::Ok();
 }
 

@@ -4,6 +4,7 @@
 #include "common/stopwatch.h"
 #include "graph/bin_packing.h"
 #include "model/sort_key.h"
+#include "obs/trace.h"
 
 namespace iolap {
 
@@ -36,6 +37,8 @@ Status EmitExternal(StorageEnv& env, const StarSchema& schema,
                     PreparedDataset* data,
                     const std::vector<std::vector<TableSegment>>& groups,
                     AllocationResult* result) {
+  TraceSpan span("emit.external");
+  span.AddArg("groups", static_cast<int64_t>(groups.size()));
   SpecComparator canonical(&schema, SortSpec::Canonical(schema));
   PassEngine engine(&env.pool(), &schema, &data->cells, &data->imprecise,
                     &canonical);
@@ -66,13 +69,17 @@ Status RunBlock(StorageEnv& env, const StarSchema& schema,
 
   const int max_iterations = options.EffectiveMaxIterations();
   for (int t = 1; t <= max_iterations; ++t) {
+    TraceSpan iteration_span("block.iteration");
+    iteration_span.AddArg("t", t);
     Stopwatch iteration_watch;
     IoStats io_before = env.disk().stats();
     for (const auto& group : groups) {
+      TraceSpan gamma_span("block.gamma");
       IOLAP_RETURN_IF_ERROR(engine.RunGamma(group));
     }
     double max_eps = 0;
     for (size_t g = 0; g < groups.size(); ++g) {
+      TraceSpan delta_span("block.delta");
       IOLAP_RETURN_IF_ERROR(engine.RunDelta(groups[g], /*init_delta=*/g == 0,
                                             /*finalize=*/g + 1 == groups.size(),
                                             &max_eps));

@@ -4,6 +4,7 @@
 #include "common/stopwatch.h"
 #include "graph/chain_cover.h"
 #include "model/sort_key.h"
+#include "obs/trace.h"
 #include "storage/external_sort.h"
 
 namespace iolap {
@@ -54,11 +55,15 @@ Status RunIndependent(StorageEnv& env, const StarSchema& schema,
 
   const int max_iterations = options.EffectiveMaxIterations();
   for (int t = 1; t <= max_iterations; ++t) {
+    TraceSpan iteration_span("independent.iteration");
+    iteration_span.AddArg("t", t);
     Stopwatch iteration_watch;
     IoStats io_before = env.disk().stats();
     double max_eps = 0;
     for (size_t g = 0; g < chains.size(); ++g) {
       Chain& chain = chains[g];
+      TraceSpan chain_span("independent.chain");
+      chain_span.AddArg("chain", static_cast<int64_t>(g));
       // Re-sort C and the chain's summary tables into the chain order —
       // the repeated sorting that dominates Independent's cost.
       IOLAP_RETURN_IF_ERROR(
@@ -87,6 +92,7 @@ Status RunIndependent(StorageEnv& env, const StarSchema& schema,
   }
 
   // Restore canonical order for the shared emission path.
+  TraceSpan restore_span("independent.restore_canonical");
   SpecComparator canonical(&schema, SortSpec::Canonical(schema));
   IOLAP_RETURN_IF_ERROR(
       cell_sorter.Sort(&data->cells, CellSpecLess(&canonical)));

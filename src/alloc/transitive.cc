@@ -11,6 +11,7 @@
 #include "graph/bin_packing.h"
 #include "graph/union_find.h"
 #include "model/sort_key.h"
+#include "obs/trace.h"
 #include "storage/external_sort.h"
 
 namespace iolap {
@@ -244,6 +245,7 @@ Status RunTransitive(StorageEnv& env, const StarSchema& schema,
   result->num_groups = static_cast<int>(groups.size());
   UnionFind uf(0);
   {
+    TraceSpan ccid_span("transitive.ccid");
     PassEngine engine(&pool, &schema, &data->cells, &data->imprecise,
                       &canonical);
     for (const auto& group : groups) {
@@ -259,6 +261,7 @@ Status RunTransitive(StorageEnv& env, const StarSchema& schema,
 
   // ---- Step 2: sort all tuples into component order.
   {
+    TraceSpan sort_span("transitive.component_sort");
     ExternalSorter<CellRecord> cell_sorter(&env.disk(), &pool,
                                            env.buffer_pages(), options.io);
     IOLAP_RETURN_IF_ERROR(cell_sorter.Sort(
@@ -278,6 +281,7 @@ Status RunTransitive(StorageEnv& env, const StarSchema& schema,
       directory != nullptr ? *directory : local_directory;
   dir.clear();
   {
+    TraceSpan dir_span("transitive.directory");
     auto cc = data->cells.Scan(pool);
     auto ec = data->imprecise.Scan(pool);
     CellRecord cell;
@@ -372,6 +376,9 @@ Status RunTransitive(StorageEnv& env, const StarSchema& schema,
   if (num_threads <= 1) {
     // Serial path: exactly the classic Algorithm 5 loop.
     for (ComponentInfo& info : dir) {
+      TraceSpan component_span("transitive.component");
+      component_span.AddArg("ccid", info.ccid);
+      component_span.AddArg("tuples", info.tuples());
       info.edb_begin = result->edb.size();
       const int64_t pages = pages_of(info);
       int iterations = 0;
@@ -419,6 +426,10 @@ Status RunTransitive(StorageEnv& env, const StarSchema& schema,
     ScheduledUnit unit;
     unit.cost = batch->cost;
     unit.run = [batch, &pool, data, &schema, &options]() -> Status {
+      TraceSpan batch_span("transitive.batch");
+      batch_span.AddArg("components",
+                        static_cast<int64_t>(batch->dir_index.size()));
+      batch_span.AddArg("cost", batch->cost);
       for (size_t j = 0; j < batch->dir_index.size(); ++j) {
         const ComponentInfo& info_j = (*batch->info_source)[batch->dir_index[j]];
         std::vector<CellRecord> cells;
@@ -469,6 +480,9 @@ Status RunTransitive(StorageEnv& env, const StarSchema& schema,
       ComponentInfo* info_ptr = &info;
       unit.run = [&env, &schema, data, &options, &canonical, info_ptr,
                   &appender, result, &account, pages]() -> Status {
+        TraceSpan external_span("transitive.external_component");
+        external_span.AddArg("ccid", info_ptr->ccid);
+        external_span.AddArg("pages", pages);
         info_ptr->edb_begin = result->edb.size();
         ++result->components.num_large_components;
         result->components.large_component_pages += pages;

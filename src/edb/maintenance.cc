@@ -6,6 +6,7 @@
 #include "alloc/in_memory.h"
 #include "alloc/preprocess.h"
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 
 namespace iolap {
 
@@ -51,6 +52,7 @@ EdbRecord Tombstone() {
 Result<std::unique_ptr<MaintenanceManager>> MaintenanceManager::Build(
     StorageEnv& env, const StarSchema& schema, TypedFile<FactRecord>* facts,
     const AllocationOptions& options) {
+  TraceSpan span("maint.build");
   auto manager = std::unique_ptr<MaintenanceManager>(
       new MaintenanceManager(&env, &schema));
   manager->options_ = options;
@@ -171,6 +173,8 @@ Status MaintenanceManager::AbsorbCoveredCells(const FactRecord& fact,
 Status MaintenanceManager::ReallocateComponent(
     int64_t comp, std::map<LeafKey, double>* delta_adjust,
     std::vector<CellRecord>* candidate_cells, MaintenanceStats* stats) {
+  TraceSpan span("maint.reallocate_component");
+  span.AddArg("comp", comp);
   MaintComponent& c = directory_[comp];
   BufferPool& pool = env_->pool();
   ++stats->components_touched;
@@ -341,6 +345,8 @@ Status MaintenanceManager::ReallocateComponent(
 
 Status MaintenanceManager::ApplyUpdates(const std::vector<FactUpdate>& updates,
                                         MaintenanceStats* stats) {
+  TraceSpan span("maint.apply_updates");
+  span.AddArg("updates", static_cast<int64_t>(updates.size()));
   const int k = schema_->num_dims();
   BufferPool& pool = env_->pool();
   Stopwatch watch;
@@ -459,6 +465,8 @@ Status MaintenanceManager::ApplyUpdates(const std::vector<FactUpdate>& updates,
 
 Status MaintenanceManager::InsertFacts(const std::vector<FactRecord>& inserts,
                                        MaintenanceStats* stats) {
+  TraceSpan span("maint.insert_facts");
+  span.AddArg("inserts", static_cast<int64_t>(inserts.size()));
   const int k = schema_->num_dims();
   BufferPool& pool = env_->pool();
   Stopwatch watch;
@@ -689,6 +697,8 @@ Status MaintenanceManager::InsertFacts(const std::vector<FactRecord>& inserts,
 
 Status MaintenanceManager::DeleteFacts(const std::vector<FactRecord>& deletes,
                                        MaintenanceStats* stats) {
+  TraceSpan span("maint.delete_facts");
+  span.AddArg("deletes", static_cast<int64_t>(deletes.size()));
   const int k = schema_->num_dims();
   BufferPool& pool = env_->pool();
   Stopwatch watch;
@@ -780,6 +790,7 @@ Status MaintenanceManager::DeleteFacts(const std::vector<FactRecord>& deletes,
 }
 
 Result<int64_t> MaintenanceManager::CompactEdb() {
+  TraceSpan span("maint.compact_edb");
   BufferPool& pool = env_->pool();
   IOLAP_ASSIGN_OR_RETURN(auto compact, TypedFile<EdbRecord>::Create(
                                            env_->disk(), "edb_compact"));

@@ -21,6 +21,7 @@ Result<AggregateResult> QueryEngine::Aggregate(
     EdbRecord rec;
     while (!cursor.done()) {
       IOLAP_RETURN_IF_ERROR(cursor.Next(&rec));
+      if (rec.weight == 0 && rec.fact_id == -1) continue;  // tombstone
       if (!CellInRegion(region, rec.leaf)) continue;
       out.sum += rec.weight * rec.measure;
       out.count += rec.weight;
@@ -92,6 +93,7 @@ Result<std::vector<AggregateResult>> QueryEngine::RollUp(
   EdbRecord rec;
   while (!cursor.done()) {
     IOLAP_RETURN_IF_ERROR(cursor.Next(&rec));
+    if (rec.weight == 0 && rec.fact_id == -1) continue;  // tombstone
     if (!CellInRegion(region, rec.leaf)) continue;
     AggregateResult& g = groups[h.LeafAncestorOrdinal(rec.leaf[dim], level)];
     g.sum += rec.weight * rec.measure;
@@ -128,11 +130,17 @@ Result<std::vector<EdbRecord>> QueryEngine::FactsIn(
 
 Result<std::vector<EdbRecord>> QueryEngine::CompletionsOf(
     FactId fact_id) const {
+  // Negative ids are never real facts — in particular fact_id = -1 would
+  // otherwise match every maintenance tombstone (Definition 4).
+  if (fact_id < 0) {
+    return Status::InvalidArgument("CompletionsOf: fact_id must be >= 0");
+  }
   std::vector<EdbRecord> out;
   auto cursor = edb_->Scan(env_->pool());
   EdbRecord rec;
   while (!cursor.done()) {
     IOLAP_RETURN_IF_ERROR(cursor.Next(&rec));
+    if (rec.weight == 0 && rec.fact_id == -1) continue;  // tombstone
     if (rec.fact_id == fact_id) out.push_back(rec);
   }
   return out;

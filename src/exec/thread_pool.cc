@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace iolap {
 
 Status TaskFuture::Wait() const {
@@ -14,6 +17,8 @@ Status TaskFuture::Wait() const {
 }
 
 ThreadPool::ThreadPool(int num_threads) {
+  queue_depth_gauge_ = GlobalGauge("exec.queue_depth");
+  tasks_counter_ = GlobalCounter("exec.tasks_submitted");
   int n = std::max(1, num_threads);
   workers_.reserve(n);
   for (int i = 0; i < n; ++i) {
@@ -43,7 +48,11 @@ TaskFuture ThreadPool::Submit(std::function<Status()> fn) {
       return TaskFuture(std::move(state));
     }
     queue_.push_back(Task{std::move(fn), state});
+    if (queue_depth_gauge_ != nullptr) {
+      queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+    }
   }
+  if (tasks_counter_ != nullptr) tasks_counter_->Add(1);
   cv_.notify_one();
   return TaskFuture(std::move(state));
 }
@@ -57,8 +66,13 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stopping_ && drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      if (queue_depth_gauge_ != nullptr) {
+        queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+      }
     }
+    TraceSpan task_span("exec.task");
     Status status = task.fn ? task.fn() : Status::Ok();
+    task_span.End();
     {
       std::lock_guard<std::mutex> lock(task.state->mu);
       task.state->status = std::move(status);

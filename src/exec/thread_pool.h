@@ -80,6 +80,10 @@ class ThreadPool {
   std::deque<Task> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+  // Observability handles, resolved once at construction; null when no
+  // registry is installed (the disabled-mode fast path is one null check).
+  class Gauge* queue_depth_gauge_ = nullptr;
+  class Counter* tasks_counter_ = nullptr;
 };
 
 }  // namespace iolap

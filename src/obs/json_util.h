@@ -1,0 +1,76 @@
+#ifndef IOLAP_OBS_JSON_UTIL_H_
+#define IOLAP_OBS_JSON_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace iolap {
+
+/// Appends `s` to `out` escaped for use inside a JSON string literal
+/// (without the surrounding quotes): `"` and `\` are backslash-escaped and
+/// control characters below 0x20 become \uXXXX (or the short \n \r \t \b \f
+/// forms). This is the one escaper shared by every JSON emitter in the
+/// repo — the bench JsonWriter and the obs metrics/trace exporters — so
+/// their output agrees on what a valid string is.
+inline void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+/// Appends `s` as a complete JSON string literal (quotes included).
+inline void AppendJsonString(std::string* out, std::string_view s) {
+  *out += '"';
+  AppendJsonEscaped(out, s);
+  *out += '"';
+}
+
+/// Appends `value` as a JSON number. JSON has no inf/nan literals, so
+/// non-finite doubles are mapped to `null` (printing them bare, as printf
+/// does, yields a file json parsers reject).
+inline void AppendJsonDouble(std::string* out, double value) {
+  if (!std::isfinite(value)) {
+    *out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  *out += buf;
+}
+
+}  // namespace iolap
+
+#endif  // IOLAP_OBS_JSON_UTIL_H_

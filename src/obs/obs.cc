@@ -1,0 +1,46 @@
+#include "obs/obs.h"
+
+#include <cstdio>
+
+#include "common/result.h"
+
+namespace iolap {
+
+ScopedObservability::ScopedObservability(const std::string& metrics_out,
+                                         const std::string& trace_out)
+    : metrics_out_(metrics_out), trace_out_(trace_out) {
+  // Tracing samples gauges at span boundaries, so a trace implies a
+  // registry even if no metrics dump was requested.
+  if (!metrics_out_.empty() || !trace_out_.empty()) {
+    metrics_ = std::make_unique<MetricsRegistry>();
+    SetGlobalMetrics(metrics_.get());
+  }
+  if (!trace_out_.empty()) {
+    trace_ = std::make_unique<TraceCollector>();
+    SetGlobalTrace(trace_.get());
+  }
+}
+
+Status ScopedObservability::Finish() {
+  if (finished_) return Status::Ok();
+  finished_ = true;
+  if (trace_ != nullptr) SetGlobalTrace(nullptr);
+  if (metrics_ != nullptr) SetGlobalMetrics(nullptr);
+  if (trace_ != nullptr && !trace_out_.empty()) {
+    IOLAP_RETURN_IF_ERROR(trace_->WriteChromeJson(trace_out_));
+  }
+  if (metrics_ != nullptr && !metrics_out_.empty()) {
+    IOLAP_RETURN_IF_ERROR(metrics_->WriteJsonFile(metrics_out_));
+  }
+  return Status::Ok();
+}
+
+ScopedObservability::~ScopedObservability() {
+  Status s = Finish();
+  if (!s.ok()) {
+    std::fprintf(stderr, "observability export failed: %s\n",
+                 s.message().c_str());
+  }
+}
+
+}  // namespace iolap

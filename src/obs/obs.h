@@ -1,0 +1,50 @@
+#ifndef IOLAP_OBS_OBS_H_
+#define IOLAP_OBS_OBS_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace iolap {
+
+/// Owns a MetricsRegistry and/or TraceCollector for the duration of one
+/// run: installs them as the process globals on construction, exports to
+/// the requested files and uninstalls on destruction (or Finish()).
+/// Empty paths leave the corresponding subsystem disabled, so a default
+/// ScopedObservability is a true no-op and callers can construct one
+/// unconditionally from their flags.
+class ScopedObservability {
+ public:
+  ScopedObservability() = default;
+  ScopedObservability(const std::string& metrics_out,
+                      const std::string& trace_out);
+  ~ScopedObservability();
+  ScopedObservability(const ScopedObservability&) = delete;
+  ScopedObservability& operator=(const ScopedObservability&) = delete;
+
+  bool enabled() const {
+    return metrics_ != nullptr || trace_ != nullptr;
+  }
+  MetricsRegistry* metrics() { return metrics_.get(); }
+  TraceCollector* trace() { return trace_.get(); }
+
+  /// Uninstalls the globals and writes the output files. Idempotent; the
+  /// destructor calls it and logs (stderr) on failure. Call explicitly to
+  /// handle write errors, or to stop collection before teardown of
+  /// objects the registry's callbacks reference.
+  Status Finish();
+
+ private:
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<TraceCollector> trace_;
+  std::string metrics_out_;
+  std::string trace_out_;
+  bool finished_ = false;
+};
+
+}  // namespace iolap
+
+#endif  // IOLAP_OBS_OBS_H_

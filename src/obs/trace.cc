@@ -1,0 +1,119 @@
+#include "obs/trace.h"
+
+#include <fstream>
+
+#include "obs/json_util.h"
+
+namespace iolap {
+
+namespace {
+
+std::atomic<TraceCollector*> g_trace{nullptr};
+
+std::atomic<int32_t> g_thread_counter{0};
+
+/// Collector-independent: tids only need to be stable per thread and dense
+/// enough for readable tracks; a process-wide counter gives both.
+int32_t CachedThreadId() {
+  thread_local int32_t tid =
+      g_thread_counter.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
+int32_t TraceCollector::ThisThreadId() { return CachedThreadId(); }
+
+void TraceCollector::AddComplete(
+    const std::string& name, int64_t start_us, int64_t dur_us,
+    std::vector<std::pair<std::string, int64_t>> args) {
+  const int32_t tid = ThisThreadId();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= max_events_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(Event{name, 'X', tid, start_us, dur_us, 0,
+                          std::move(args)});
+}
+
+void TraceCollector::AddCounter(const std::string& name, int64_t ts_us,
+                                int64_t value) {
+  const int32_t tid = ThisThreadId();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= max_events_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(Event{name, 'C', tid, ts_us, 0, value, {}});
+}
+
+void TraceCollector::SampleGauges(const MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  const int64_t now = NowMicros();
+  metrics->VisitGauges([&](const std::string& name, int64_t value) {
+    AddCounter(name, now, value);
+  });
+}
+
+size_t TraceCollector::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string TraceCollector::ToChromeJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const Event& e : events_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":";
+    AppendJsonString(&out, e.name);
+    out += ",\"ph\":\"";
+    out += e.phase;
+    out += "\",\"pid\":1,\"tid\":";
+    out += std::to_string(e.tid);
+    out += ",\"ts\":";
+    out += std::to_string(e.ts_us);
+    if (e.phase == 'X') {
+      out += ",\"dur\":";
+      out += std::to_string(e.dur_us);
+      out += ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [key, value] : e.args) {
+        if (!first_arg) out += ',';
+        first_arg = false;
+        AppendJsonString(&out, key);
+        out += ':';
+        out += std::to_string(value);
+      }
+      out += '}';
+    } else {  // 'C' — counter tracks carry their value in args.
+      out += ",\"args\":{\"value\":";
+      out += std::to_string(e.counter);
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status TraceCollector::WriteChromeJson(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot write trace file " + path);
+  out << ToChromeJson();
+  if (!out.flush()) return Status::IoError("failed writing " + path);
+  return Status::Ok();
+}
+
+TraceCollector* GlobalTrace() {
+  return g_trace.load(std::memory_order_relaxed);
+}
+
+void SetGlobalTrace(TraceCollector* collector) {
+  g_trace.store(collector, std::memory_order_release);
+}
+
+}  // namespace iolap

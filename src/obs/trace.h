@@ -1,0 +1,139 @@
+#ifndef IOLAP_OBS_TRACE_H_
+#define IOLAP_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace iolap {
+
+/// Collects Chrome trace_event records (loadable in Perfetto / chrome's
+/// about:tracing). Spans become "ph":"X" complete events; nesting is
+/// implicit from timestamp/duration per thread, so no parent pointers are
+/// stored. Gauge samples taken at span boundaries become "ph":"C" counter
+/// events and render as tracks (queue depth, pool occupancy).
+///
+/// Thread-safe: events append under a mutex, but only when a span *ends*,
+/// which for instrumented code is once per phase/iteration/component —
+/// orders of magnitude below the lock rates the allocator's own data
+/// structures see. Bounded: at most `max_events` records are kept; later
+/// ones are counted in dropped_events() instead of growing without limit
+/// on component-heavy runs.
+class TraceCollector {
+ public:
+  explicit TraceCollector(size_t max_events = 1 << 20)
+      : max_events_(max_events),
+        epoch_(std::chrono::steady_clock::now()) {}
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Microseconds since this collector was created.
+  int64_t NowMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// Records a completed span on the calling thread's trace track.
+  /// `args` are attached as the event's "args" object (values emitted as
+  /// JSON numbers).
+  void AddComplete(const std::string& name, int64_t start_us, int64_t dur_us,
+                   std::vector<std::pair<std::string, int64_t>> args = {});
+
+  /// Records an instantaneous counter-track value.
+  void AddCounter(const std::string& name, int64_t ts_us, int64_t value);
+
+  /// Samples every gauge in `metrics` (if non-null) as counter events at
+  /// the current time. Called by TraceSpan at begin/end so gauge tracks
+  /// have data exactly where spans change.
+  void SampleGauges(const MetricsRegistry* metrics);
+
+  size_t event_count() const;
+  int64_t dropped_events() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// {"traceEvents":[...]} — the Chrome trace_event JSON object format.
+  std::string ToChromeJson() const;
+  Status WriteChromeJson(const std::string& path) const;
+
+ private:
+  struct Event {
+    std::string name;
+    char phase;  // 'X' complete, 'C' counter
+    int32_t tid;
+    int64_t ts_us;
+    int64_t dur_us;    // 'X' only
+    int64_t counter;   // 'C' only
+    std::vector<std::pair<std::string, int64_t>> args;
+  };
+
+  /// Small dense per-thread ids so Perfetto groups spans into stable
+  /// tracks; assigned on each thread's first event.
+  int32_t ThisThreadId();
+
+  const size_t max_events_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  int32_t next_tid_ = 0;
+  std::atomic<int64_t> dropped_{0};
+};
+
+/// Installed collector; null (default) = tracing disabled. Same contract
+/// as GlobalMetrics().
+TraceCollector* GlobalTrace();
+void SetGlobalTrace(TraceCollector* collector);
+
+/// RAII scoped timer. Constructed against GlobalTrace(): when tracing is
+/// disabled the constructor is a relaxed pointer load and nothing else —
+/// no clock read, no allocation. On destruction (or End()) the span is
+/// recorded and the installed registry's gauges are sampled, so every
+/// span boundary pins down queue depth / pool occupancy at that instant.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) : collector_(GlobalTrace()) {
+    if (collector_ != nullptr) {
+      name_ = name;
+      start_us_ = collector_->NowMicros();
+      collector_->SampleGauges(GlobalMetrics());
+    }
+  }
+  ~TraceSpan() { End(); }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool enabled() const { return collector_ != nullptr; }
+
+  /// Attaches a numeric argument shown in the event's detail pane.
+  void AddArg(const char* key, int64_t value) {
+    if (collector_ != nullptr) args_.emplace_back(key, value);
+  }
+
+  /// Ends the span early (idempotent).
+  void End() {
+    if (collector_ == nullptr) return;
+    TraceCollector* c = collector_;
+    collector_ = nullptr;
+    int64_t end_us = c->NowMicros();
+    c->AddComplete(name_, start_us_, end_us - start_us_, std::move(args_));
+    c->SampleGauges(GlobalMetrics());
+  }
+
+ private:
+  TraceCollector* collector_;
+  std::string name_;
+  int64_t start_us_ = 0;
+  std::vector<std::pair<std::string, int64_t>> args_;
+};
+
+}  // namespace iolap
+
+#endif  // IOLAP_OBS_TRACE_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace iolap {
 
 PageGuard::PageGuard(BufferPool* pool, int32_t frame)
@@ -42,6 +44,10 @@ void PageGuard::Release() {
 
 BufferPool::BufferPool(DiskManager* disk, size_t capacity_pages)
     : disk_(disk), capacity_(capacity_pages) {
+  occupancy_gauge_ = GlobalGauge("pool.occupancy");
+  hits_counter_ = GlobalCounter("pool.hits");
+  misses_counter_ = GlobalCounter("pool.misses");
+  evictions_counter_ = GlobalCounter("pool.evictions");
   frames_.resize(capacity_);
   free_frames_.reserve(capacity_);
   for (size_t i = 0; i < capacity_; ++i) {
@@ -92,6 +98,7 @@ Result<int32_t> BufferPool::FindVictim() {
   IOLAP_RETURN_IF_ERROR(FlushFrame(frame));
   page_table_.erase(Key{frame.file, frame.page});
   ++stats_.evictions;
+  if (evictions_counter_ != nullptr) evictions_counter_->Add(1);
   if (frame.prefetched) {
     ++stats_.prefetch_wasted;
     frame.prefetched = false;
@@ -122,6 +129,7 @@ int32_t BufferPool::FindPrefetchVictim() {
   frame.in_lru = false;
   page_table_.erase(Key{frame.file, frame.page});
   ++stats_.evictions;
+  if (evictions_counter_ != nullptr) evictions_counter_->Add(1);
   ++stats_.prefetch_wasted;
   frame.prefetched = false;
   frame.file = kInvalidFileId;
@@ -197,6 +205,7 @@ Result<PageGuard> BufferPool::Pin(FileId file, PageId page) {
     } else {
       ++stats_.hits;
     }
+    if (hits_counter_ != nullptr) hits_counter_->Add(1);
     if (frame.in_lru) {
       lru_.erase(frame.lru_pos);
       frame.in_lru = false;
@@ -205,11 +214,13 @@ Result<PageGuard> BufferPool::Pin(FileId file, PageId page) {
     return PageGuard(this, it->second);
   }
   ++stats_.misses;
+  if (misses_counter_ != nullptr) misses_counter_->Add(1);
   IOLAP_ASSIGN_OR_RETURN(int32_t idx, FindVictim());
   Frame& frame = frames_[idx];
   Status read = disk_->ReadPage(file, page, frame.data.get());
   if (!read.ok()) {
     free_frames_.push_back(idx);
+    TouchOccupancyGauge();
     return read;
   }
   frame.file = file;
@@ -218,6 +229,7 @@ Result<PageGuard> BufferPool::Pin(FileId file, PageId page) {
   frame.dirty = false;
   frame.prefetched = false;
   page_table_[Key{file, page}] = idx;
+  TouchOccupancyGauge();
   return PageGuard(this, idx);
 }
 
@@ -240,6 +252,7 @@ Result<PageGuard> BufferPool::PinNew(FileId file, PageId page) {
   Status write = disk_->WritePage(file, page, frame.data.get());
   if (!write.ok()) {
     free_frames_.push_back(idx);
+    TouchOccupancyGauge();
     return write;
   }
   frame.file = file;
@@ -248,6 +261,7 @@ Result<PageGuard> BufferPool::PinNew(FileId file, PageId page) {
   frame.dirty = false;
   frame.prefetched = false;
   page_table_[Key{file, page}] = idx;
+  TouchOccupancyGauge();
   return PageGuard(this, idx);
 }
 
@@ -387,6 +401,7 @@ void BufferPool::ServicePrefetchLocked(const PrefetchRequest& req,
     }
     p += n;
   }
+  TouchOccupancyGauge();
 }
 
 void BufferPool::DrainPrefetches() {
@@ -438,6 +453,7 @@ Status BufferPool::EvictFile(FileId file) {
     IOLAP_RETURN_IF_ERROR(FlushFrame(frame));
     ReleaseFrame(i);
   }
+  TouchOccupancyGauge();
   return Status::Ok();
 }
 

@@ -14,6 +14,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/disk_manager.h"
 #include "storage/io_stats.h"
 
@@ -200,8 +201,24 @@ class BufferPool {
     return frames_[frame_index].data.get();
   }
 
+  /// Mirrors the frames-in-use count into the installed occupancy gauge.
+  /// Requires mu_; a null handle (no registry installed) makes this one
+  /// pointer check.
+  void TouchOccupancyGauge() {
+    if (occupancy_gauge_ != nullptr) {
+      occupancy_gauge_->Set(
+          static_cast<int64_t>(capacity_ - free_frames_.size()));
+    }
+  }
+
   DiskManager* disk_;
   size_t capacity_;
+  // Observability handles, resolved once at construction; null when no
+  // registry is installed.
+  Gauge* occupancy_gauge_ = nullptr;
+  Counter* hits_counter_ = nullptr;
+  Counter* misses_counter_ = nullptr;
+  Counter* evictions_counter_ = nullptr;
   mutable std::mutex mu_;
   std::vector<Frame> frames_;
   std::vector<int32_t> free_frames_;

@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "exec/thread_pool.h"
+#include "obs/trace.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 #include "storage/io_pipeline.h"
@@ -85,6 +86,8 @@ class ExternalSorter {
 
     // Fast path: the whole range fits in the sort budget.
     if (count <= budget_records) {
+      TraceSpan span("sort.in_memory");
+      span.AddArg("records", count);
       return SortInMemory(file->file_id(), begin, count, less);
     }
 
@@ -99,6 +102,8 @@ class ExternalSorter {
     IOLAP_ASSIGN_OR_RETURN(FileId scratch_b, disk_->CreateFile("sort_b"));
     std::vector<Run> runs;
     {
+      TraceSpan run_gen_span("sort.run_gen");
+      run_gen_span.AddArg("records", count);
       int64_t next_page = 0;
       for (int64_t offset = 0; offset < count; offset += budget_records) {
         int64_t n = std::min(budget_records, count - offset);
@@ -145,6 +150,8 @@ class ExternalSorter {
 
     // Merge passes. The final pass (one output run) writes straight back
     // into the original file.
+    TraceSpan merge_span("sort.merge");
+    merge_span.AddArg("runs", static_cast<int64_t>(runs.size()));
     FileId src = scratch_a;
     FileId dst = scratch_b;
     const int64_t fan_in = budget_pages_ - 1;

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <iterator>
+#include <limits>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "tests/test_util.h"
+
+namespace iolap {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(JsonWriterTest, EscapesStringsAndMapsNonFiniteToNull) {
+  const std::string path = MakeTempDir() + "/rows.json";
+  JsonWriter writer(path);
+  writer.BeginObject();
+  writer.Field("algo", "tran\"sitive\\v1\n");
+  writer.Field("count", int64_t{42});
+  writer.Field("speedup", std::numeric_limits<double>::infinity());
+  writer.Field("ratio", std::numeric_limits<double>::quiet_NaN());
+  writer.Field("seconds", 0.25);
+  writer.Field("ok", true);
+  writer.EndObject();
+  writer.BeginObject();
+  writer.Field("key with \t tab", int64_t{1});
+  writer.EndObject();
+  ASSERT_TRUE(writer.Write());
+
+  const std::string json = ReadFile(path);
+  EXPECT_NE(json.find("\"algo\": \"tran\\\"sitive\\\\v1\\n\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"speedup\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ratio\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"seconds\": 0.25"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"key with \\t tab\": 1"), std::string::npos) << json;
+  // No raw control characters or bare inf/nan tokens may survive.
+  EXPECT_EQ(json.find('\t'), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+}
+
+TEST(EstimateDataPagesTest, UsesCeilingDivision) {
+  const int64_t cell_rpp = TypedFile<CellRecord>::kRecordsPerPage;
+  const int64_t imp_rpp = TypedFile<ImpreciseRecord>::kRecordsPerPage;
+  ASSERT_GT(cell_rpp, 1);
+  ASSERT_GT(imp_rpp, 1);
+
+  // A single record still occupies a whole page (+2 overhead pages).
+  EXPECT_EQ(EstimateDataPages(1, 0.0), 1 + 2);
+  EXPECT_EQ(EstimateDataPages(1, 1.0), 1 + 2);
+  // Exactly full pages do not round up.
+  EXPECT_EQ(EstimateDataPages(cell_rpp, 0.0), 1 + 2);
+  EXPECT_EQ(EstimateDataPages(3 * cell_rpp, 0.0), 3 + 2);
+  // One record past a page boundary adds a page.
+  EXPECT_EQ(EstimateDataPages(cell_rpp + 1, 0.0), 2 + 2);
+  EXPECT_EQ(EstimateDataPages(imp_rpp + 1, 1.0), 2 + 2);
+}
+
+}  // namespace
+}  // namespace iolap

@@ -22,6 +22,13 @@
 //   iolap_cli query --schema=s.csv --facts=f.csv --dim=<name> --node=<name>
 //       [--func=sum|count|avg]
 //       Allocates, then answers one aggregation under all four semantics.
+//
+//   Every command also accepts [--metrics-out=m.json] [--trace-out=t.json]:
+//   --metrics-out dumps a flat JSON object of run counters/gauges,
+//   --trace-out records a Chrome trace_event span tree loadable in
+//   Perfetto (https://ui.perfetto.dev) or chrome://tracing. With neither
+//   flag, observability is fully disabled (zero-cost; identical I/O
+//   counts).
 
 #include <cinttypes>
 #include <cstdio>
@@ -33,6 +40,7 @@
 #include "edb/query.h"
 #include "examples/example_util.h"
 #include "io/csv.h"
+#include "obs/obs.h"
 
 using namespace iolap;
 
@@ -222,10 +230,15 @@ int CmdQuery(const Flags& flags) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   Flags flags(argc, argv);
+  ScopedObservability obs(flags.GetString("metrics-out", ""),
+                          flags.GetString("trace-out", ""));
   std::string command = argv[1];
-  if (command == "sample") return CmdSample(flags);
-  if (command == "estimate") return CmdEstimate(flags);
-  if (command == "allocate") return CmdAllocate(flags);
-  if (command == "query") return CmdQuery(flags);
-  return Usage();
+  int rc = 2;
+  if (command == "sample") rc = CmdSample(flags);
+  else if (command == "estimate") rc = CmdEstimate(flags);
+  else if (command == "allocate") rc = CmdAllocate(flags);
+  else if (command == "query") rc = CmdQuery(flags);
+  else return Usage();
+  DieOnError(obs.Finish());
+  return rc;
 }
