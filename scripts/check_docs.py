@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Documentation link and cross-reference checker.
+
+Validates, for every tracked markdown file at the repo root and under
+docs/:
+
+  * relative markdown links ``[text](path)`` — the target file must exist;
+    a ``#anchor`` fragment must match a heading in the target (GitHub
+    slugification);
+  * section references ``§N`` (optionally ``§N.M``) — resolved against the
+    nearest preceding ``*.md`` filename on the same line, or against the
+    current file when the line names no other document. The target must
+    contain a numbered heading ``## N.``. Paper sections are written
+    "Section N" by convention and are not checked.
+
+Exit status 0 when everything resolves; 1 otherwise, listing every broken
+reference as file:line: message.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Retrieved/driver material is not subject to the repo's cross-reference
+# conventions.
+EXCLUDE = {"PAPER.md", "PAPERS.md", "SNIPPETS.md", "ISSUE.md", "CHANGES.md"}
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SECTION_RE = re.compile(r"§\s?(\d+)(?:\.\d+)*")
+MD_NAME_RE = re.compile(r"[\w./-]*\w\.md")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+NUMBERED_HEADING_RE = re.compile(r"^#{1,6}\s+(\d+)\.\s")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def doc_files():
+    files = []
+    for directory in (REPO, os.path.join(REPO, "docs")):
+        for name in sorted(os.listdir(directory)):
+            if name.endswith(".md") and name not in EXCLUDE:
+                files.append(os.path.join(directory, name))
+    return files
+
+
+def github_slug(heading):
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces→hyphens."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def scan(path):
+    """Returns (lines outside code fences, anchor slugs, numbered sections)."""
+    lines, anchors, sections = [], set(), set()
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            lines.append((lineno, line))
+            m = HEADING_RE.match(line)
+            if m:
+                anchors.add(github_slug(m.group(2)))
+            m = NUMBERED_HEADING_RE.match(line)
+            if m:
+                sections.add(int(m.group(1)))
+    return lines, anchors, sections
+
+
+def main():
+    files = doc_files()
+    meta = {path: scan(path) for path in files}
+    # Targets of links/§-refs may be excluded files or files outside the two
+    # scanned directories; scan targets lazily.
+    def target_meta(path):
+        if path not in meta:
+            meta[path] = scan(path)
+        return meta[path]
+
+    errors = []
+    for path in files:
+        rel = os.path.relpath(path, REPO)
+        base = os.path.dirname(path)
+        lines, _, own_sections = meta[path]
+        for lineno, line in lines:
+            for m in LINK_RE.finditer(line):
+                target = m.group(1)
+                if re.match(r"[a-z][a-z0-9+.-]*:", target):  # http:, mailto:
+                    continue
+                target_path, _, fragment = target.partition("#")
+                if target_path:
+                    resolved = os.path.normpath(os.path.join(base, target_path))
+                    if not os.path.exists(resolved):
+                        errors.append(f"{rel}:{lineno}: broken link '{target}'")
+                        continue
+                else:
+                    resolved = path  # pure '#anchor'
+                if fragment and resolved.endswith(".md"):
+                    _, anchors, _ = target_meta(resolved)
+                    if fragment not in anchors:
+                        errors.append(
+                            f"{rel}:{lineno}: anchor '#{fragment}' not found "
+                            f"in {os.path.relpath(resolved, REPO)}")
+            for m in SECTION_RE.finditer(line):
+                section = int(m.group(1))
+                named = [f for f in MD_NAME_RE.findall(line[: m.start()])]
+                if named:
+                    candidates = [
+                        os.path.normpath(os.path.join(base, named[-1])),
+                        os.path.normpath(os.path.join(REPO, named[-1])),
+                    ]
+                    resolved = next(
+                        (c for c in candidates if os.path.exists(c)), None)
+                    if resolved is None:
+                        errors.append(
+                            f"{rel}:{lineno}: §{section} references missing "
+                            f"file '{named[-1]}'")
+                        continue
+                    _, _, sections = target_meta(resolved)
+                    where = os.path.relpath(resolved, REPO)
+                else:
+                    sections, where = own_sections, rel
+                if section not in sections:
+                    errors.append(
+                        f"{rel}:{lineno}: §{section} has no numbered heading "
+                        f"'## {section}.' in {where}")
+
+    for error in errors:
+        print(error)
+    if errors:
+        print(f"\n{len(errors)} broken documentation reference(s)",
+              file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} files: all links, anchors and § references "
+          "resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,8 @@
 
 namespace iolap {
 
+class CheckpointManager;  // recovery/checkpoint.h
+
 /// Per-component metadata kept by the Transitive algorithm. Besides the
 /// census it powers the EDB maintenance algorithm of Section 9: segments of
 /// the component-sorted files plus the region bounding box for the R-tree.
@@ -31,23 +33,30 @@ struct ComponentInfo {
 
 /// Algorithm 1 (in-memory reference): loads C and all imprecise facts into
 /// memory and evaluates the equations directly.
+///
+/// All four Run* functions take an optional CheckpointManager. When
+/// non-null they commit their state at iteration (Basic/Block/Independent)
+/// or component (Transitive) boundaries, and — if `ckpt->resumed()` — start
+/// from the restored boundary instead of the beginning. Null reproduces the
+/// pre-checkpoint code paths exactly.
 Status RunBasic(StorageEnv& env, const StarSchema& schema,
                 PreparedDataset* data, const AllocationOptions& options,
-                AllocationResult* result);
+                AllocationResult* result, CheckpointManager* ckpt = nullptr);
 
 /// Algorithm 3: chain decomposition of the summary-table partial order;
 /// per iteration each chain re-sorts C (and its tables) into the chain's
 /// sort order and runs the two passes with one-record cursors.
 Status RunIndependent(StorageEnv& env, const StarSchema& schema,
                       PreparedDataset* data, const AllocationOptions& options,
-                      AllocationResult* result);
+                      AllocationResult* result,
+                      CheckpointManager* ckpt = nullptr);
 
 /// Algorithm 4: one fixed (canonical) sort order; summary tables grouped by
 /// bin-packing their partition sizes into the buffer; per iteration each
 /// group scans C once per pass with sliding windows.
 Status RunBlock(StorageEnv& env, const StarSchema& schema,
                 PreparedDataset* data, const AllocationOptions& options,
-                AllocationResult* result);
+                AllocationResult* result, CheckpointManager* ckpt = nullptr);
 
 /// Algorithm 5: identifies connected components of the allocation graph,
 /// sorts all tuples into component order, then converges each component
@@ -57,7 +66,8 @@ Status RunBlock(StorageEnv& env, const StarSchema& schema,
 Status RunTransitive(StorageEnv& env, const StarSchema& schema,
                      PreparedDataset* data, const AllocationOptions& options,
                      AllocationResult* result,
-                     std::vector<ComponentInfo>* directory);
+                     std::vector<ComponentInfo>* directory,
+                     CheckpointManager* ckpt = nullptr);
 
 /// Shared emission: canonical-order Γ-recompute + emit passes over the
 /// given summary-table groups, appending to the EDB.

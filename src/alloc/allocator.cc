@@ -1,10 +1,13 @@
 #include "alloc/allocator.h"
 
+#include <memory>
+
 #include "alloc/algorithms.h"
 #include "alloc/preprocess.h"
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "recovery/checkpoint.h"
 
 namespace iolap {
 
@@ -50,18 +53,35 @@ Result<AllocationResult> Allocator::Run(StorageEnv& env,
   IoStats io_before = env.disk().stats();
   Stopwatch watch;
 
+  std::unique_ptr<CheckpointManager> ckpt;
+  if (options.checkpoint.enabled()) {
+    IOLAP_ASSIGN_OR_RETURN(
+        ckpt, CheckpointManager::Open(&env, options, schema.num_dims()));
+  }
+
   TraceSpan prep_span("alloc.prep");
-  IOLAP_ASSIGN_OR_RETURN(PreparedDataset data,
-                         PrepareDataset(env, schema, facts, options));
+  PreparedDataset data;
+  bool resumed = false;
+  if (ckpt != nullptr && options.checkpoint.resume) {
+    // A successful resume restores both the prepared dataset (workspace
+    // files imported from the checkpoint images) and the partial result;
+    // no checkpoint found means a fresh run.
+    IOLAP_ASSIGN_OR_RETURN(resumed, ckpt->TryResume(&data, &result));
+  }
+  if (!resumed) {
+    IOLAP_ASSIGN_OR_RETURN(data, PrepareDataset(env, schema, facts, options));
+  }
   result.prep_seconds = watch.ElapsedSeconds();
   result.prep_io = env.disk().stats() - io_before;
   prep_span.AddArg("page_reads", result.prep_io.page_reads);
   prep_span.AddArg("page_writes", result.prep_io.page_writes);
   prep_span.End();
-  result.num_cells = data.cells.size();
-  result.num_precise = data.num_precise_facts;
-  result.num_imprecise = data.num_imprecise_facts;
-  result.num_tables = static_cast<int>(data.tables.size());
+  if (!resumed) {
+    result.num_cells = data.cells.size();
+    result.num_precise = data.num_precise_facts;
+    result.num_imprecise = data.num_imprecise_facts;
+    result.num_tables = static_cast<int>(data.tables.size());
+  }
   // The precise facts' EDB rows were emitted during preprocessing; the
   // allocation rows are appended behind them.
   result.edb = data.precise_edb;
@@ -71,15 +91,17 @@ Result<AllocationResult> Allocator::Run(StorageEnv& env,
   TraceSpan alloc_span("alloc.iterate");
   switch (options.algorithm) {
     case AlgorithmKind::kBasic:
-      IOLAP_RETURN_IF_ERROR(RunBasic(env, schema, &data, options, &result));
+      IOLAP_RETURN_IF_ERROR(
+          RunBasic(env, schema, &data, options, &result, ckpt.get()));
       break;
     case AlgorithmKind::kIndependent:
     case AlgorithmKind::kBlock: {
       if (options.algorithm == AlgorithmKind::kIndependent) {
         IOLAP_RETURN_IF_ERROR(
-            RunIndependent(env, schema, &data, options, &result));
+            RunIndependent(env, schema, &data, options, &result, ckpt.get()));
       } else {
-        IOLAP_RETURN_IF_ERROR(RunBlock(env, schema, &data, options, &result));
+        IOLAP_RETURN_IF_ERROR(
+            RunBlock(env, schema, &data, options, &result, ckpt.get()));
       }
       result.alloc_seconds = watch.ElapsedSeconds();
       result.alloc_io = env.disk().stats() - io_before;
@@ -100,8 +122,8 @@ Result<AllocationResult> Allocator::Run(StorageEnv& env,
     case AlgorithmKind::kTransitive:
       // Transitive emits per component; emission time is folded into the
       // allocation phase (that is intrinsic to the algorithm).
-      IOLAP_RETURN_IF_ERROR(
-          RunTransitive(env, schema, &data, options, &result, nullptr));
+      IOLAP_RETURN_IF_ERROR(RunTransitive(env, schema, &data, options,
+                                          &result, nullptr, ckpt.get()));
       break;
   }
   result.alloc_seconds = watch.ElapsedSeconds();

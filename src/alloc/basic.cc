@@ -1,33 +1,40 @@
 #include "alloc/algorithms.h"
 #include "alloc/in_memory.h"
 #include "obs/trace.h"
+#include "recovery/checkpoint.h"
 
 namespace iolap {
 
 Status RunBasic(StorageEnv& env, const StarSchema& schema,
                 PreparedDataset* data, const AllocationOptions& options,
-                AllocationResult* result) {
+                AllocationResult* result, CheckpointManager* ckpt) {
   BufferPool& pool = env.pool();
   TraceSpan load_span("basic.load");
 
   std::vector<CellRecord> cells;
-  cells.reserve(data->cells.size());
-  {
-    auto cur = data->cells.Scan(pool);
-    CellRecord c;
-    while (!cur.done()) {
-      IOLAP_RETURN_IF_ERROR(cur.Next(&c));
-      cells.push_back(c);
-    }
-  }
   std::vector<ImpreciseRecord> entries;
-  entries.reserve(data->num_imprecise_facts);
-  for (const SummaryTableInfo& table : data->tables) {
-    auto cur = data->imprecise.Scan(pool, table.begin, table.end);
-    ImpreciseRecord e;
-    while (!cur.done()) {
-      IOLAP_RETURN_IF_ERROR(cur.Next(&e));
-      entries.push_back(e);
+  if (ckpt != nullptr && ckpt->has_basic_state()) {
+    // Resume from the raw in-memory payload the checkpoint stored; the
+    // workspace cells/imprecise files are empty and stay that way.
+    IOLAP_RETURN_IF_ERROR(ckpt->LoadBasicState(&cells, &entries));
+  } else {
+    cells.reserve(data->cells.size());
+    {
+      auto cur = data->cells.Scan(pool);
+      CellRecord c;
+      while (!cur.done()) {
+        IOLAP_RETURN_IF_ERROR(cur.Next(&c));
+        cells.push_back(c);
+      }
+    }
+    entries.reserve(data->num_imprecise_facts);
+    for (const SummaryTableInfo& table : data->tables) {
+      auto cur = data->imprecise.Scan(pool, table.begin, table.end);
+      ImpreciseRecord e;
+      while (!cur.done()) {
+        IOLAP_RETURN_IF_ERROR(cur.Next(&e));
+        entries.push_back(e);
+      }
     }
   }
 
@@ -36,9 +43,28 @@ Status RunBasic(StorageEnv& env, const StarSchema& schema,
   MemoryAllocator ma(&schema, std::move(cells), std::move(entries));
   {
     TraceSpan iterate_span("basic.iterate");
-    result->iterations = ma.Iterate(options.epsilon,
-                                    options.EffectiveMaxIterations(),
-                                    /*force_all_iterations=*/false);
+    const int max_iterations = options.EffectiveMaxIterations();
+    if (ckpt == nullptr) {
+      result->iterations = ma.Iterate(options.epsilon, max_iterations,
+                                      /*force_all_iterations=*/false);
+    } else {
+      // Checkpointed stepping loop. Note Uniform (max_iterations == 0)
+      // never reaches a boundary, so its only checkpointable state is the
+      // finished EDB via the facade.
+      const int start = ckpt->start_iteration();
+      const bool skip_iterate = ckpt->resumed_converged();
+      result->iterations = start;
+      for (int t = start + 1; t <= max_iterations && !skip_iterate; ++t) {
+        double max_eps = ma.IterateOnce();
+        result->iterations = t;
+        bool done = max_eps < options.epsilon || t == max_iterations;
+        if (done || ckpt->DueAtIteration(t)) {
+          IOLAP_RETURN_IF_ERROR(ckpt->CheckpointBasic(
+              t, done, ma.cells(), ma.entries(), data, *result));
+        }
+        if (max_eps < options.epsilon) break;
+      }
+    }
     iterate_span.AddArg("iterations", result->iterations);
   }
   TraceSpan emit_span("basic.emit");

@@ -5,6 +5,7 @@
 #include "graph/bin_packing.h"
 #include "model/sort_key.h"
 #include "obs/trace.h"
+#include "recovery/checkpoint.h"
 
 namespace iolap {
 
@@ -59,7 +60,7 @@ Status EmitExternal(StorageEnv& env, const StarSchema& schema,
 
 Status RunBlock(StorageEnv& env, const StarSchema& schema,
                 PreparedDataset* data, const AllocationOptions& options,
-                AllocationResult* result) {
+                AllocationResult* result, CheckpointManager* ckpt) {
   auto groups = PackTableGroups(*data, env.buffer_pages());
   result->num_groups = static_cast<int>(groups.size());
 
@@ -68,7 +69,12 @@ Status RunBlock(StorageEnv& env, const StarSchema& schema,
                     &canonical);
 
   const int max_iterations = options.EffectiveMaxIterations();
-  for (int t = 1; t <= max_iterations; ++t) {
+  // All iteration state is in the cells/imprecise records (delta_prev,
+  // gamma), so a restored file image plus the completed-iteration counter
+  // resumes the loop exactly.
+  const int start = ckpt != nullptr ? ckpt->start_iteration() : 0;
+  const bool skip_iterate = ckpt != nullptr && ckpt->resumed_converged();
+  for (int t = start + 1; t <= max_iterations && !skip_iterate; ++t) {
     TraceSpan iteration_span("block.iteration");
     iteration_span.AddArg("t", t);
     Stopwatch iteration_watch;
@@ -89,6 +95,12 @@ Status RunBlock(StorageEnv& env, const StarSchema& schema,
     result->per_iteration.push_back(IterationStats{
         max_eps, env.disk().stats() - io_before,
         iteration_watch.ElapsedSeconds()});
+    if (ckpt != nullptr) {
+      bool done = max_eps < options.epsilon || t == max_iterations;
+      if (done || ckpt->DueAtIteration(t)) {
+        IOLAP_RETURN_IF_ERROR(ckpt->CheckpointIteration(t, done, data, *result));
+      }
+    }
     if (max_eps < options.epsilon) break;
   }
   result->peak_window_records =

@@ -59,38 +59,51 @@ void MemoryAllocator::BuildEdges() {
   }
 }
 
+double MemoryAllocator::Step(std::vector<double>* delta_cur) {
+  // E-step: Γ(t)(r) from Δ(t-1).
+  for (size_t e = 0; e < entries_.size(); ++e) {
+    double gamma = 0;
+    for (int32_t c : edges_[e]) gamma += cells_[c].delta_prev;
+    entries_[e].gamma = gamma;
+  }
+  // M-step: Δ(t)(c) = δ(c) + Σ_r Δ(t-1)(c)/Γ(t)(r).
+  for (size_t c = 0; c < cells_.size(); ++c) {
+    (*delta_cur)[c] = cells_[c].delta0;
+  }
+  for (size_t e = 0; e < entries_.size(); ++e) {
+    if (entries_[e].gamma <= 0) continue;
+    for (int32_t c : edges_[e]) {
+      (*delta_cur)[c] += cells_[c].delta_prev / entries_[e].gamma;
+    }
+  }
+  double max_eps = 0;
+  for (size_t c = 0; c < cells_.size(); ++c) {
+    double prev = cells_[c].delta_prev;
+    double eps = prev != 0
+                     ? std::fabs((*delta_cur)[c] - prev) / std::fabs(prev)
+                     : ((*delta_cur)[c] == 0 ? 0.0 : 1.0);
+    max_eps = std::max(max_eps, eps);
+    cells_[c].delta_prev = (*delta_cur)[c];
+    cells_[c].delta_cur = (*delta_cur)[c];
+  }
+  return max_eps;
+}
+
 int MemoryAllocator::Iterate(double epsilon, int max_iterations,
                              bool force_all_iterations) {
   std::vector<double> delta_cur(cells_.size());
   int iterations = 0;
   for (int t = 1; t <= max_iterations; ++t) {
-    // E-step: Γ(t)(r) from Δ(t-1).
-    for (size_t e = 0; e < entries_.size(); ++e) {
-      double gamma = 0;
-      for (int32_t c : edges_[e]) gamma += cells_[c].delta_prev;
-      entries_[e].gamma = gamma;
-    }
-    // M-step: Δ(t)(c) = δ(c) + Σ_r Δ(t-1)(c)/Γ(t)(r).
-    for (size_t c = 0; c < cells_.size(); ++c) delta_cur[c] = cells_[c].delta0;
-    for (size_t e = 0; e < entries_.size(); ++e) {
-      if (entries_[e].gamma <= 0) continue;
-      for (int32_t c : edges_[e]) {
-        delta_cur[c] += cells_[c].delta_prev / entries_[e].gamma;
-      }
-    }
-    double max_eps = 0;
-    for (size_t c = 0; c < cells_.size(); ++c) {
-      double prev = cells_[c].delta_prev;
-      double eps = prev != 0 ? std::fabs(delta_cur[c] - prev) / std::fabs(prev)
-                             : (delta_cur[c] == 0 ? 0.0 : 1.0);
-      max_eps = std::max(max_eps, eps);
-      cells_[c].delta_prev = delta_cur[c];
-      cells_[c].delta_cur = delta_cur[c];
-    }
+    double max_eps = Step(&delta_cur);
     ++iterations;
     if (!force_all_iterations && max_eps < epsilon) break;
   }
   return iterations;
+}
+
+double MemoryAllocator::IterateOnce() {
+  std::vector<double> delta_cur(cells_.size());
+  return Step(&delta_cur);
 }
 
 Status MemoryAllocator::Emit(typename TypedFile<EdbRecord>::Appender* out,

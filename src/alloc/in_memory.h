@@ -34,6 +34,13 @@ class MemoryAllocator {
   /// no-early-convergence ablation). Returns the iterations executed.
   int Iterate(double epsilon, int max_iterations, bool force_all_iterations);
 
+  /// Runs exactly one EM iteration and returns the max relative change of
+  /// Δ. Stepping primitive for checkpointed Basic runs: all iteration state
+  /// lives in the records (`delta_prev`, `gamma`), so interleaving
+  /// IterateOnce with snapshots of cells()/entries() is equivalent to one
+  /// uninterrupted Iterate call.
+  double IterateOnce();
+
   /// Appends one EDB row per (entry, covered cell) with p = Δ(c)/Γ(r),
   /// where Γ is recomputed from the final Δ so weights sum to exactly 1.
   /// Entries overlapping no cell are counted as unallocatable.
@@ -52,6 +59,7 @@ class MemoryAllocator {
 
  private:
   void BuildEdges();
+  double Step(std::vector<double>* delta_cur);
 
   const StarSchema* schema_;
   std::vector<CellRecord> cells_;

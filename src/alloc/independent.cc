@@ -5,6 +5,7 @@
 #include "graph/chain_cover.h"
 #include "model/sort_key.h"
 #include "obs/trace.h"
+#include "recovery/checkpoint.h"
 #include "storage/external_sort.h"
 
 namespace iolap {
@@ -21,7 +22,7 @@ struct Chain {
 Status RunIndependent(StorageEnv& env, const StarSchema& schema,
                       PreparedDataset* data,
                       const AllocationOptions& options,
-                      AllocationResult* result) {
+                      AllocationResult* result, CheckpointManager* ckpt) {
   // Decompose the summary-table partial order into W chains (Section 5.1).
   std::vector<LevelVector> levels;
   levels.reserve(data->tables.size());
@@ -54,7 +55,12 @@ Status RunIndependent(StorageEnv& env, const StarSchema& schema,
                                                env.buffer_pages(), options.io);
 
   const int max_iterations = options.EffectiveMaxIterations();
-  for (int t = 1; t <= max_iterations; ++t) {
+  // A checkpoint may capture the files in any chain's sort order — that is
+  // fine, because every chain re-sorts them at the start of its own pass
+  // and the canonical restore below re-sorts them after the loop.
+  const int start = ckpt != nullptr ? ckpt->start_iteration() : 0;
+  const bool skip_iterate = ckpt != nullptr && ckpt->resumed_converged();
+  for (int t = start + 1; t <= max_iterations && !skip_iterate; ++t) {
     TraceSpan iteration_span("independent.iteration");
     iteration_span.AddArg("t", t);
     Stopwatch iteration_watch;
@@ -88,6 +94,13 @@ Status RunIndependent(StorageEnv& env, const StarSchema& schema,
     result->per_iteration.push_back(IterationStats{
         max_eps, env.disk().stats() - io_before,
         iteration_watch.ElapsedSeconds()});
+    if (ckpt != nullptr) {
+      bool done = chains.empty() || max_eps < options.epsilon ||
+                  t == max_iterations;
+      if (done || ckpt->DueAtIteration(t)) {
+        IOLAP_RETURN_IF_ERROR(ckpt->CheckpointIteration(t, done, data, *result));
+      }
+    }
     if (chains.empty() || max_eps < options.epsilon) break;
   }
 

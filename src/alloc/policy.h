@@ -68,6 +68,21 @@ inline const char* PolicyName(PolicyKind p) {
   return "?";
 }
 
+/// Crash recovery for long allocation runs (DESIGN.md §9). With a non-empty
+/// `directory` the run persists its complete iteration state there at
+/// iteration boundaries (Basic/Block/Independent) or component boundaries
+/// (Transitive); with `resume` it also continues from the newest valid
+/// checkpoint instead of starting over. The directory must live *outside*
+/// the StorageEnv workspace — the DiskManager unlinks its workspace on
+/// destruction, and checkpoints must outlive the crashed process.
+struct CheckpointOptions {
+  std::string directory;  // empty = checkpointing disabled
+  int every = 1;          // checkpoint every N boundaries
+  bool resume = false;    // continue from the newest valid manifest
+
+  bool enabled() const { return !directory.empty(); }
+};
+
 struct AllocationOptions {
   PolicyKind policy = PolicyKind::kCount;
   CellDomain domain = CellDomain::kPreciseCells;
@@ -100,6 +115,12 @@ struct AllocationOptions {
   /// wall-clock changes. `IoPipelineOptions::Serial()` is the pre-pipeline
   /// baseline.
   IoPipelineOptions io;
+
+  /// Checkpoint/restart (disabled by default). When disabled the demand-I/O
+  /// schedule is bit-identical to a build without the feature; when enabled
+  /// the EDB bytes are unchanged and only checkpoint traffic (uncounted,
+  /// reported under the `ckpt.*` metrics) is added.
+  CheckpointOptions checkpoint;
 
   /// δ(c) contribution of one precise fact under this policy.
   double DeltaContribution(const FactRecord& fact) const {

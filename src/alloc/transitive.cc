@@ -12,6 +12,7 @@
 #include "graph/union_find.h"
 #include "model/sort_key.h"
 #include "obs/trace.h"
+#include "recovery/checkpoint.h"
 #include "storage/external_sort.h"
 
 namespace iolap {
@@ -230,15 +231,43 @@ struct ComponentBatch {
   int64_t cost = 0;  // cells + entries across the batch
 };
 
+Status RunTransitiveComponents(StorageEnv& env, const StarSchema& schema,
+                               PreparedDataset* data,
+                               const AllocationOptions& options,
+                               AllocationResult* result,
+                               std::vector<ComponentInfo>& dir,
+                               int64_t start_component,
+                               CheckpointManager* ckpt);
+
 }  // namespace
 
 Status RunTransitive(StorageEnv& env, const StarSchema& schema,
                      PreparedDataset* data, const AllocationOptions& options,
                      AllocationResult* result,
-                     std::vector<ComponentInfo>* directory) {
+                     std::vector<ComponentInfo>* directory,
+                     CheckpointManager* ckpt) {
   const int k = schema.num_dims();
   BufferPool& pool = env.pool();
   SpecComparator canonical(&schema, SortSpec::Canonical(schema));
+
+  std::vector<ComponentInfo> local_directory;
+  std::vector<ComponentInfo>& dir =
+      directory != nullptr ? *directory : local_directory;
+  // First component index not yet converged-and-emitted. Everything below
+  // it is final — its EDB rows sit inside the restored EDB image — so the
+  // resumed run never revisits it (DESIGN.md §9).
+  int64_t start_component = 0;
+
+  if (ckpt != nullptr && ckpt->resumed()) {
+    // The checkpoint captured the component-sorted files and the complete
+    // directory, so steps 1–3a (ccid pass, component sort, directory scan)
+    // are already paid for. The tail censuses (singleton cells,
+    // unallocatable facts) were restored with the result.
+    dir = ckpt->TakeDirectory();
+    start_component = ckpt->start_component();
+    return RunTransitiveComponents(env, schema, data, options, result, dir,
+                                   start_component, ckpt);
+  }
 
   // ---- Step 1: assign ccids with one Block-style pass per group.
   auto groups = PackTableGroups(*data, env.buffer_pages());
@@ -276,9 +305,6 @@ Status RunTransitive(StorageEnv& env, const StarSchema& schema,
   }
 
   // ---- Step 3a: one streaming scan building the component directory.
-  std::vector<ComponentInfo> local_directory;
-  std::vector<ComponentInfo>& dir =
-      directory != nullptr ? *directory : local_directory;
   dir.clear();
   {
     TraceSpan dir_span("transitive.directory");
@@ -337,11 +363,30 @@ Status RunTransitive(StorageEnv& env, const StarSchema& schema,
     }
   }
 
-  // ---- Step 3b: process each component to convergence and emit, in
-  // strict component order. Compute runs serially or component-parallel
-  // (options.num_threads); emission order — and therefore the EDB bytes —
-  // is identical either way, because components are disjoint subgraphs
-  // whose floating-point results do not depend on scheduling.
+  // ---- Step 3b.
+  return RunTransitiveComponents(env, schema, data, options, result, dir,
+                                 start_component, ckpt);
+}
+
+namespace {
+
+/// Step 3b: process components [start_component, dir.size()) to
+/// convergence and emit, in strict component order. Compute runs serially
+/// or component-parallel (options.num_threads); emission order — and
+/// therefore the EDB bytes — is identical either way, because components
+/// are disjoint subgraphs whose floating-point results do not depend on
+/// scheduling. With `ckpt`, commits a checkpoint every
+/// `checkpoint.every` finished components plus a final one; both paths
+/// checkpoint only from the orchestration thread.
+Status RunTransitiveComponents(StorageEnv& env, const StarSchema& schema,
+                               PreparedDataset* data,
+                               const AllocationOptions& options,
+                               AllocationResult* result,
+                               std::vector<ComponentInfo>& dir,
+                               int64_t start_component,
+                               CheckpointManager* ckpt) {
+  BufferPool& pool = env.pool();
+  SpecComparator canonical(&schema, SortSpec::Canonical(schema));
   const int64_t cell_rpp = TypedFile<CellRecord>::kRecordsPerPage;
   const int64_t imp_rpp = TypedFile<ImpreciseRecord>::kRecordsPerPage;
   const int64_t budget_records_limit =
@@ -375,7 +420,9 @@ Status RunTransitive(StorageEnv& env, const StarSchema& schema,
 
   if (num_threads <= 1) {
     // Serial path: exactly the classic Algorithm 5 loop.
-    for (ComponentInfo& info : dir) {
+    for (size_t i = static_cast<size_t>(start_component); i < dir.size();
+         ++i) {
+      ComponentInfo& info = dir[i];
       TraceSpan component_span("transitive.component");
       component_span.AddArg("ccid", info.ccid);
       component_span.AddArg("tuples", info.tuples());
@@ -400,8 +447,17 @@ Status RunTransitive(StorageEnv& env, const StarSchema& schema,
       }
       info.edb_end = result->edb.size();
       account(info, iterations);
+      if (ckpt != nullptr &&
+          ckpt->DueAtComponent(static_cast<int64_t>(i) + 1)) {
+        IOLAP_RETURN_IF_ERROR(ckpt->CheckpointComponents(
+            static_cast<int64_t>(i) + 1, data, *result, dir));
+      }
     }
     appender.Close();
+    if (ckpt != nullptr) {
+      IOLAP_RETURN_IF_ERROR(ckpt->CheckpointComponents(
+          static_cast<int64_t>(dir.size()), data, *result, dir));
+    }
     return Status::Ok();
   }
 
@@ -411,8 +467,10 @@ Status RunTransitive(StorageEnv& env, const StarSchema& schema,
   // barrier units — they get the whole buffer pool, exactly as in the
   // serial path.
   int64_t total_small_cost = 0;
-  for (const ComponentInfo& info : dir) {
-    if (pages_of(info) <= budget_records_limit) total_small_cost += info.tuples();
+  for (size_t i = static_cast<size_t>(start_component); i < dir.size(); ++i) {
+    if (pages_of(dir[i]) <= budget_records_limit) {
+      total_small_cost += dir[i].tuples();
+    }
   }
   const int64_t chunk_target = std::max<int64_t>(
       1, total_small_cost / (static_cast<int64_t>(num_threads) * 16));
@@ -443,7 +501,8 @@ Status RunTransitive(StorageEnv& env, const StarSchema& schema,
       }
       return Status::Ok();
     };
-    unit.emit = [batch, &appender, result, &account]() -> Status {
+    unit.emit = [batch, &appender, result, &account, ckpt, &dir,
+                 data]() -> Status {
       for (size_t j = 0; j < batch->dir_index.size(); ++j) {
         ComponentInfo& info_j = (*batch->info_source)[batch->dir_index[j]];
         ComponentOutput& out = batch->outputs[j];
@@ -457,6 +516,15 @@ Status RunTransitive(StorageEnv& env, const StarSchema& schema,
         account(info_j, out.iterations);
         std::vector<EdbRecord>().swap(out.rows);  // free as we go
       }
+      // Emit closures run in strict component order on the orchestration
+      // thread, so checkpointing here sees exactly the serial-path state.
+      if (ckpt != nullptr) {
+        int64_t next = static_cast<int64_t>(batch->dir_index.back()) + 1;
+        if (ckpt->DueAtComponent(next)) {
+          IOLAP_RETURN_IF_ERROR(
+              ckpt->CheckpointComponents(next, data, *result, dir));
+        }
+      }
       return Status::Ok();
     };
     units.push_back(std::move(unit));
@@ -466,7 +534,7 @@ Status RunTransitive(StorageEnv& env, const StarSchema& schema,
     open_batch = nullptr;
   };
 
-  for (size_t i = 0; i < dir.size(); ++i) {
+  for (size_t i = static_cast<size_t>(start_component); i < dir.size(); ++i) {
     ComponentInfo& info = dir[i];
     const int64_t pages = pages_of(info);
     if (pages > budget_records_limit) {
@@ -478,8 +546,10 @@ Status RunTransitive(StorageEnv& env, const StarSchema& schema,
       unit.cost = info.tuples();
       unit.run_inline = true;
       ComponentInfo* info_ptr = &info;
+      const int64_t next = static_cast<int64_t>(i) + 1;
       unit.run = [&env, &schema, data, &options, &canonical, info_ptr,
-                  &appender, result, &account, pages]() -> Status {
+                  &appender, result, &account, pages, ckpt, &dir,
+                  next]() -> Status {
         TraceSpan external_span("transitive.external_component");
         external_span.AddArg("ccid", info_ptr->ccid);
         external_span.AddArg("pages", pages);
@@ -492,6 +562,12 @@ Status RunTransitive(StorageEnv& env, const StarSchema& schema,
                                  *info_ptr, &appender, result, &iterations));
         info_ptr->edb_end = result->edb.size();
         account(*info_ptr, iterations);
+        // Inline units run with no worker in flight, on the orchestration
+        // thread — safe to checkpoint.
+        if (ckpt != nullptr && ckpt->DueAtComponent(next)) {
+          IOLAP_RETURN_IF_ERROR(
+              ckpt->CheckpointComponents(next, data, *result, dir));
+        }
         return Status::Ok();
       };
       units.push_back(std::move(unit));
@@ -515,7 +591,13 @@ Status RunTransitive(StorageEnv& env, const StarSchema& schema,
   IOLAP_RETURN_IF_ERROR(scheduler.Execute(units));
 
   appender.Close();
+  if (ckpt != nullptr) {
+    IOLAP_RETURN_IF_ERROR(ckpt->CheckpointComponents(
+        static_cast<int64_t>(dir.size()), data, *result, dir));
+  }
   return Status::Ok();
 }
+
+}  // namespace
 
 }  // namespace iolap

@@ -22,6 +22,10 @@ enum class StatusCode {
   kIoError,
   kInternal,
   kUnimplemented,
+  // Transient environmental failure: the operation failed now but may
+  // succeed if retried (e.g. a flaky device). DiskManager's retry policy
+  // retries these; kIoError stays permanent and surfaces immediately.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "IO_ERROR").
@@ -67,6 +71,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

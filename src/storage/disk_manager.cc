@@ -7,8 +7,12 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <mutex>
+#include <thread>
+
+#include "obs/metrics.h"
 
 namespace iolap {
 
@@ -21,7 +25,37 @@ std::string ErrnoMessage(const std::string& op, const std::string& path) {
 // Keep gather writes comfortably under IOV_MAX (1024 on Linux).
 constexpr int64_t kMaxIov = 256;
 
+// Chunk size (pages) for checkpoint export/import copies: 1 MiB transfers.
+constexpr int64_t kCheckpointChunkPages = 256;
+
 }  // namespace
+
+template <typename Fn>
+Status DiskManager::RunWithRetry(Fn&& attempt) {
+  Status st = attempt();
+  if (st.ok() || st.code() != StatusCode::kUnavailable ||
+      !retry_policy_.enabled()) {
+    return st;
+  }
+  int64_t backoff_us = retry_policy_.backoff_initial_us;
+  for (int retry = 1; retry <= retry_policy_.max_retries; ++retry) {
+    // Looked up per retry, not cached: retries are rare (transient faults
+    // only) and the registry may be installed after this manager exists.
+    if (Counter* c = GlobalCounter("io.retries")) c->Add(1);
+    if (backoff_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    }
+    backoff_us = std::min<int64_t>(
+        retry_policy_.backoff_max_us,
+        static_cast<int64_t>(static_cast<double>(backoff_us) *
+                             retry_policy_.backoff_multiplier));
+    st = attempt();
+    if (st.ok() || st.code() != StatusCode::kUnavailable) return st;
+  }
+  return Status::Unavailable(st.message() + " (exhausted " +
+                             std::to_string(retry_policy_.max_retries) +
+                             " retries)");
+}
 
 DiskManager::DiskManager(std::string directory)
     : directory_(std::move(directory)) {
@@ -86,6 +120,12 @@ Status DiskManager::ReadPage(FileId file, PageId page, void* buffer) {
 
 Status DiskManager::ReadPages(FileId file, PageId first, int64_t n,
                               void* buffer, bool prefetch) {
+  return RunWithRetry(
+      [&] { return ReadPagesOnce(file, first, n, buffer, prefetch); });
+}
+
+Status DiskManager::ReadPagesOnce(FileId file, PageId first, int64_t n,
+                                  void* buffer, bool prefetch) {
   if (!prefetch) {
     IOLAP_RETURN_IF_ERROR(Inject('r', file, first, n));
   }
@@ -116,6 +156,12 @@ Status DiskManager::WritePage(FileId file, PageId page, const void* buffer) {
 
 Status DiskManager::WritePages(FileId file, PageId first, int64_t n,
                                const void* buffer) {
+  return RunWithRetry(
+      [&] { return WritePagesOnce(file, first, n, buffer); });
+}
+
+Status DiskManager::WritePagesOnce(FileId file, PageId first, int64_t n,
+                                   const void* buffer) {
   IOLAP_RETURN_IF_ERROR(Inject('w', file, first, n));
   IOLAP_ASSIGN_OR_RETURN(FileState * state, GetFile(file));
   if (n <= 0) {
@@ -141,6 +187,13 @@ Status DiskManager::WritePages(FileId file, PageId first, int64_t n,
 Status DiskManager::WritePagesGather(FileId file, PageId first,
                                      const std::byte* const* pages,
                                      int64_t n) {
+  return RunWithRetry(
+      [&] { return WritePagesGatherOnce(file, first, pages, n); });
+}
+
+Status DiskManager::WritePagesGatherOnce(FileId file, PageId first,
+                                         const std::byte* const* pages,
+                                         int64_t n) {
   IOLAP_RETURN_IF_ERROR(Inject('w', file, first, n));
   IOLAP_ASSIGN_OR_RETURN(FileState * state, GetFile(file));
   if (n <= 0) {
@@ -220,6 +273,92 @@ Status DiskManager::DeleteFile(FileId file) {
   ::unlink(it->second->path.c_str());
   files_.erase(it);
   return Status::Ok();
+}
+
+Status DiskManager::ExportPages(FileId file, int64_t pages,
+                                const std::string& dest_path) {
+  IOLAP_ASSIGN_OR_RETURN(FileState * state, GetFile(file));
+  if (pages < 0 || pages > state->size_pages.load()) {
+    return Status::OutOfRange("export of " + std::to_string(pages) +
+                              " pages from file of " +
+                              std::to_string(state->size_pages.load()) +
+                              " pages");
+  }
+  int dest = ::open(dest_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (dest < 0) {
+    return Status::IoError(ErrnoMessage("open", dest_path));
+  }
+  std::vector<char> buffer(static_cast<size_t>(kCheckpointChunkPages) *
+                           kPageSize);
+  Status st = Status::Ok();
+  for (int64_t done = 0; done < pages && st.ok();) {
+    int64_t batch = std::min(pages - done, kCheckpointChunkPages);
+    st = Inject('c', file, done, batch);
+    if (!st.ok()) break;
+    ssize_t want = static_cast<ssize_t>(batch) * kPageSize;
+    ssize_t got = ::pread(state->fd, buffer.data(),
+                          static_cast<size_t>(want),
+                          static_cast<off_t>(done) * kPageSize);
+    if (got != want) {
+      st = Status::IoError(ErrnoMessage("pread", state->path));
+      break;
+    }
+    ssize_t put = ::pwrite(dest, buffer.data(), static_cast<size_t>(want),
+                           static_cast<off_t>(done) * kPageSize);
+    if (put != want) {
+      st = Status::IoError(ErrnoMessage("pwrite", dest_path));
+      break;
+    }
+    done += batch;
+  }
+  if (st.ok() && ::fsync(dest) != 0) {
+    st = Status::IoError(ErrnoMessage("fsync", dest_path));
+  }
+  ::close(dest);
+  if (!st.ok()) ::unlink(dest_path.c_str());
+  return st;
+}
+
+Status DiskManager::ImportPages(FileId file, const std::string& src_path,
+                                int64_t pages) {
+  IOLAP_ASSIGN_OR_RETURN(FileState * state, GetFile(file));
+  if (pages < 0) {
+    return Status::InvalidArgument("import of a negative page count");
+  }
+  if (state->size_pages.load() != 0) {
+    return Status::FailedPrecondition("import into a non-empty file " +
+                                      state->path);
+  }
+  int src = ::open(src_path.c_str(), O_RDONLY);
+  if (src < 0) {
+    return Status::IoError(ErrnoMessage("open", src_path));
+  }
+  std::vector<char> buffer(static_cast<size_t>(kCheckpointChunkPages) *
+                           kPageSize);
+  Status st = Status::Ok();
+  for (int64_t done = 0; done < pages && st.ok();) {
+    int64_t batch = std::min(pages - done, kCheckpointChunkPages);
+    st = Inject('c', file, done, batch);
+    if (!st.ok()) break;
+    ssize_t want = static_cast<ssize_t>(batch) * kPageSize;
+    ssize_t got = ::pread(src, buffer.data(), static_cast<size_t>(want),
+                          static_cast<off_t>(done) * kPageSize);
+    if (got != want) {
+      st = Status::IoError(ErrnoMessage("pread", src_path));
+      break;
+    }
+    ssize_t put = ::pwrite(state->fd, buffer.data(),
+                           static_cast<size_t>(want),
+                           static_cast<off_t>(done) * kPageSize);
+    if (put != want) {
+      st = Status::IoError(ErrnoMessage("pwrite", state->path));
+      break;
+    }
+    done += batch;
+  }
+  ::close(src);
+  if (st.ok()) st = GrowTo(state, pages);
+  return st;
 }
 
 }  // namespace iolap

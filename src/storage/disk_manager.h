@@ -27,6 +27,20 @@ using PageId = int64_t;
 
 inline constexpr FileId kInvalidFileId = -1;
 
+/// Bounded retry-with-backoff for *transient* page I/O failures
+/// (`StatusCode::kUnavailable`). Permanent failures (`kIoError` and every
+/// other code) surface immediately regardless of the policy. Disabled by
+/// default: `max_retries == 0` reproduces the fail-fast behaviour every
+/// existing cost-model and fault-injection test pins.
+struct RetryPolicy {
+  int max_retries = 0;              // extra attempts after the first failure
+  int64_t backoff_initial_us = 100;  // sleep before the first retry
+  double backoff_multiplier = 2.0;   // exponential growth per retry
+  int64_t backoff_max_us = 100'000;  // backoff ceiling
+
+  bool enabled() const { return max_retries > 0; }
+};
+
 /// Owns a workspace directory of page-addressed temporary files and counts
 /// every page read/write. All persistent state in the library (fact tables,
 /// summary tables, sort runs, the extended database) lives in files managed
@@ -100,6 +114,33 @@ class DiskManager {
   /// Closes and unlinks `file`.
   Status DeleteFile(FileId file);
 
+  /// Copies the first `pages` pages of `file` into a fresh file at
+  /// `dest_path` (outside the workspace; survives this manager's
+  /// destructor) with raw positional reads, then fsyncs the copy. The
+  /// caller must flush dirty buffer-pool pages first. Checkpoint traffic:
+  /// bypasses the IoStats counters entirely — the paper's cost model counts
+  /// demand I/O, and enabling checkpoints must not change it — but still
+  /// consults the fault injector with op 'c' so recovery tests can kill a
+  /// run mid-checkpoint.
+  Status ExportPages(FileId file, int64_t pages, const std::string& dest_path);
+
+  /// Inverse of ExportPages: copies `pages` pages from `src_path` into
+  /// `file`, which must currently be empty, and records the new size.
+  /// Uncounted, injector op 'c', like ExportPages.
+  Status ImportPages(FileId file, const std::string& src_path, int64_t pages);
+
+  /// Runs the fault injector for `n` checkpoint ('c') operations on behalf
+  /// of the recovery layer, whose manifest and payload writes move bytes
+  /// outside the page API (so they could not otherwise be fault-tested).
+  Status InjectCheckpointOps(int64_t n) {
+    return Inject('c', kInvalidFileId, 0, n);
+  }
+
+  /// Installs the transient-failure retry policy. Like SetFaultInjector,
+  /// must be called before the manager is shared across threads.
+  void SetRetryPolicy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
   /// Charges one demand page read without touching disk. The buffer pool
   /// calls this when a pin consumes a read-ahead frame, so `page_reads`
   /// counts exactly the demand I/Os the serial pipeline would have issued
@@ -146,6 +187,17 @@ class DiskManager {
   Status Inject(char op, FileId file, PageId first, int64_t n);
   Status GrowTo(FileState* state, PageId end_page);
 
+  // Single-attempt bodies wrapped by the public retrying entry points.
+  Status ReadPagesOnce(FileId file, PageId first, int64_t n, void* buffer,
+                       bool prefetch);
+  Status WritePagesOnce(FileId file, PageId first, int64_t n,
+                        const void* buffer);
+  Status WritePagesGatherOnce(FileId file, PageId first,
+                              const std::byte* const* pages, int64_t n);
+
+  template <typename Fn>
+  Status RunWithRetry(Fn&& attempt);
+
   std::string directory_;
   FileId next_file_id_ = 0;
   // unique_ptr values keep FileState addresses stable across rehashes, so
@@ -157,6 +209,7 @@ class DiskManager {
   std::atomic<int64_t> page_writes_{0};
   std::atomic<int64_t> prefetch_reads_{0};
   FaultInjector fault_injector_;
+  RetryPolicy retry_policy_;
 };
 
 }  // namespace iolap

@@ -101,5 +101,146 @@ TEST_F(DiskManagerTest, ManyFilesAreIndependent) {
   EXPECT_EQ(got[0], std::byte{9});
 }
 
+// ---------------------------------------------------------------------------
+// Retry policy: transient (UNAVAILABLE) failures are retried with backoff
+// when a policy is installed; permanent (IO_ERROR) failures never are; the
+// default policy retries nothing.
+
+RetryPolicy FastRetries(int max_retries) {
+  RetryPolicy policy;
+  policy.max_retries = max_retries;
+  policy.backoff_initial_us = 1;  // keep the test fast
+  policy.backoff_max_us = 10;
+  return policy;
+}
+
+TEST_F(DiskManagerTest, TransientFailureRetriedToSuccess) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(FileId f, disk_.CreateFile("t"));
+  std::byte page[kPageSize] = {};
+  IOLAP_ASSERT_OK(disk_.WritePage(f, 0, page));
+  disk_.SetRetryPolicy(FastRetries(5));
+  int failures = 3;
+  int attempts = 0;
+  disk_.SetFaultInjector([&](char op, FileId, PageId) {
+    if (op != 'r') return Status::Ok();
+    ++attempts;
+    return --failures >= 0 ? Status::Unavailable("transient") : Status::Ok();
+  });
+  IOLAP_ASSERT_OK(disk_.ReadPage(f, 0, page));
+  EXPECT_EQ(attempts, 4);  // 3 transient failures + the success
+}
+
+TEST_F(DiskManagerTest, PermanentFailureIsNotRetried) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(FileId f, disk_.CreateFile("t"));
+  std::byte page[kPageSize] = {};
+  IOLAP_ASSERT_OK(disk_.WritePage(f, 0, page));
+  disk_.SetRetryPolicy(FastRetries(5));
+  int attempts = 0;
+  disk_.SetFaultInjector([&](char op, FileId, PageId) {
+    if (op != 'r') return Status::Ok();
+    ++attempts;
+    return Status::IoError("permanent");
+  });
+  Status st = disk_.ReadPage(f, 0, page);
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_EQ(attempts, 1);
+}
+
+TEST_F(DiskManagerTest, DefaultPolicySurfacesTransientFailures) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(FileId f, disk_.CreateFile("t"));
+  std::byte page[kPageSize] = {};
+  IOLAP_ASSERT_OK(disk_.WritePage(f, 0, page));
+  int attempts = 0;
+  disk_.SetFaultInjector([&](char op, FileId, PageId) {
+    if (op != 'r') return Status::Ok();
+    ++attempts;
+    return Status::Unavailable("transient");
+  });
+  Status st = disk_.ReadPage(f, 0, page);
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(attempts, 1);
+}
+
+TEST_F(DiskManagerTest, RetryExhaustionReportsAttempts) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(FileId f, disk_.CreateFile("t"));
+  std::byte page[kPageSize] = {};
+  IOLAP_ASSERT_OK(disk_.WritePage(f, 0, page));
+  disk_.SetRetryPolicy(FastRetries(2));
+  int attempts = 0;
+  disk_.SetFaultInjector([&](char op, FileId, PageId) {
+    if (op != 'r') return Status::Ok();
+    ++attempts;
+    return Status::Unavailable("transient");
+  });
+  Status st = disk_.ReadPage(f, 0, page);
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(attempts, 3);  // first attempt + 2 retries
+  EXPECT_NE(st.message().find("exhausted"), std::string::npos);
+}
+
+TEST_F(DiskManagerTest, WritesAreRetriedToo) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(FileId f, disk_.CreateFile("t"));
+  std::byte page[kPageSize] = {};
+  disk_.SetRetryPolicy(FastRetries(3));
+  int failures = 2;
+  disk_.SetFaultInjector([&](char op, FileId, PageId) {
+    if (op != 'w') return Status::Ok();
+    return --failures >= 0 ? Status::Unavailable("transient") : Status::Ok();
+  });
+  IOLAP_ASSERT_OK(disk_.WritePage(f, 0, page));
+  std::byte got[kPageSize];
+  disk_.SetFaultInjector(nullptr);
+  IOLAP_ASSERT_OK(disk_.ReadPage(f, 0, got));
+}
+
+// ---------------------------------------------------------------------------
+// ExportPages / ImportPages: the raw image copies behind checkpoints.
+
+TEST_F(DiskManagerTest, ExportImportRoundtrip) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(FileId src, disk_.CreateFile("src"));
+  std::byte page[kPageSize];
+  for (int p = 0; p < 5; ++p) {
+    std::memset(page, p + 1, kPageSize);
+    IOLAP_ASSERT_OK(disk_.WritePage(src, p, page));
+  }
+  IoStats before = disk_.stats();
+  std::string image = MakeTempDir() + "/image";
+  IOLAP_ASSERT_OK(disk_.ExportPages(src, 5, image));
+
+  IOLAP_ASSERT_OK_AND_ASSIGN(FileId dst, disk_.CreateFile("dst"));
+  IOLAP_ASSERT_OK(disk_.ImportPages(dst, image, 5));
+  // Checkpoint copies are not demand I/O: the counters must not move.
+  EXPECT_EQ(disk_.stats().total(), before.total());
+  IOLAP_ASSERT_OK_AND_ASSIGN(int64_t size, disk_.SizeInPages(dst));
+  EXPECT_EQ(size, 5);
+  std::byte got[kPageSize];
+  for (int p = 0; p < 5; ++p) {
+    IOLAP_ASSERT_OK(disk_.ReadPage(dst, p, got));
+    EXPECT_EQ(got[0], std::byte(p + 1)) << "page " << p;
+  }
+}
+
+TEST_F(DiskManagerTest, ImportIntoNonEmptyFileRefused) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(FileId src, disk_.CreateFile("src"));
+  std::byte page[kPageSize] = {};
+  IOLAP_ASSERT_OK(disk_.WritePage(src, 0, page));
+  std::string image = MakeTempDir() + "/image";
+  IOLAP_ASSERT_OK(disk_.ExportPages(src, 1, image));
+  EXPECT_EQ(disk_.ImportPages(src, image, 1).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(DiskManagerTest, CheckpointOpsHitTheFaultInjector) {
+  IOLAP_ASSERT_OK_AND_ASSIGN(FileId src, disk_.CreateFile("src"));
+  std::byte page[kPageSize] = {};
+  IOLAP_ASSERT_OK(disk_.WritePage(src, 0, page));
+  disk_.SetFaultInjector([](char op, FileId, PageId) {
+    return op == 'c' ? Status::IoError("injected checkpoint fault")
+                     : Status::Ok();
+  });
+  EXPECT_EQ(disk_.ExportPages(src, 1, MakeTempDir() + "/image").code(),
+            StatusCode::kIoError);
+}
+
 }  // namespace
 }  // namespace iolap

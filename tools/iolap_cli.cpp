@@ -13,11 +13,18 @@
 //       [--threads=1]
 //       [--serial-io=1] [--sort-threads=N] [--merge-block-pages=N]
 //       [--read-ahead-pages=N] [--batched-writeback=0|1]
+//       [--checkpoint-dir=ckpt/] [--checkpoint-every=N] [--resume=1]
+//       [--io-retries=N] [--io-retry-backoff-us=100]
 //       Builds the Extended Database and writes it as CSV. --threads > 1
 //       runs Transitive's components in parallel (output is byte-identical
 //       to the serial run). The I/O pipeline flags tune the storage layer
 //       (--serial-io=1 selects the fully serial baseline; individual flags
 //       override it); every setting produces a byte-identical EDB.
+//       --checkpoint-dir persists restartable state there at iteration /
+//       component boundaries (every N boundaries with --checkpoint-every);
+//       --resume=1 continues a killed run from its newest valid checkpoint.
+//       --io-retries enables bounded retry with exponential backoff for
+//       transient (UNAVAILABLE) storage failures. See docs/OPERATIONS.md.
 //
 //   iolap_cli query --schema=s.csv --facts=f.csv --dim=<name> --node=<name>
 //       [--func=sum|count|avg]
@@ -64,6 +71,16 @@ PolicyKind ParsePolicy(const std::string& name) {
   if (name == "measure") return PolicyKind::kMeasure;
   if (name == "uniform") return PolicyKind::kUniform;
   return PolicyKind::kCount;
+}
+
+/// --io-retries / --io-retry-backoff-us: retry is a property of the storage
+/// environment (every file in it), not of one allocation run, so it lives
+/// on the DiskManager rather than in AllocationOptions.
+void ApplyRetryPolicy(const Flags& flags, StorageEnv* env) {
+  RetryPolicy policy;
+  policy.max_retries = static_cast<int>(flags.GetInt("io-retries", 0));
+  policy.backoff_initial_us = flags.GetInt("io-retry-backoff-us", 100);
+  env->disk().SetRetryPolicy(policy);
 }
 
 IoPipelineOptions ParsePipeline(const Flags& flags) {
@@ -140,6 +157,7 @@ int CmdEstimate(const Flags& flags) {
 int CmdAllocate(const Flags& flags) {
   StarSchema schema = Unwrap(LoadSchemaCsv(flags.GetString("schema", "")));
   StorageEnv env(MakeWorkDir("cli"), flags.GetInt("buffer-pages", 4096));
+  ApplyRetryPolicy(flags, &env);
   TypedFile<FactRecord> facts =
       Unwrap(LoadFactsCsv(env, schema, flags.GetString("facts", "")));
   AllocationOptions options;
@@ -149,6 +167,10 @@ int CmdAllocate(const Flags& flags) {
   options.epsilon = flags.GetDouble("epsilon", 0.005);
   options.num_threads = static_cast<int>(flags.GetInt("threads", 1));
   options.io = ParsePipeline(flags);
+  options.checkpoint.directory = flags.GetString("checkpoint-dir", "");
+  options.checkpoint.every =
+      static_cast<int>(flags.GetInt("checkpoint-every", 1));
+  options.checkpoint.resume = flags.GetInt("resume", 0) != 0;
   const int64_t num_facts = facts.size();
   AllocationResult result =
       Unwrap(Allocator::Run(env, schema, &facts, options));
