@@ -376,10 +376,15 @@ Status MaintenanceManager::ApplyUpdates(const std::vector<FactUpdate>& updates,
   std::set<int64_t> affected;
   rtree_->ResetStats();
   for (const FactUpdate& u : updates) {
+    const Rect rect = RegionRect(*schema_, u.before);
+    stats->touched_boxes.push_back(rect);
     std::vector<int64_t> hits;
-    IOLAP_RETURN_IF_ERROR(rtree_->Search(RegionRect(*schema_, u.before), &hits));
+    IOLAP_RETURN_IF_ERROR(rtree_->Search(rect, &hits));
     for (int64_t h : hits) {
-      if (directory_[h].alive) affected.insert(h);
+      if (directory_[h].alive) {
+        affected.insert(h);
+        stats->touched_boxes.push_back(directory_[h].bbox);
+      }
     }
   }
   stats->rtree_nodes_accessed += rtree_->nodes_accessed();
@@ -480,11 +485,15 @@ Status MaintenanceManager::InsertFacts(const std::vector<FactRecord>& inserts,
   // ---- Imprecise inserts first: they may merge components.
   for (const FactRecord& f : inserts) {
     if (f.IsPrecise(k)) continue;
+    stats->touched_boxes.push_back(RegionRect(*schema_, f));
     std::vector<int64_t> hits;
     IOLAP_RETURN_IF_ERROR(rtree_->Search(RegionRect(*schema_, f), &hits));
     std::vector<int64_t> alive_hits;
     for (int64_t h : hits) {
-      if (directory_[h].alive) alive_hits.push_back(h);
+      if (directory_[h].alive) {
+        alive_hits.push_back(h);
+        stats->touched_boxes.push_back(directory_[h].bbox);
+      }
     }
 
     MaintComponent merged;
@@ -598,10 +607,14 @@ Status MaintenanceManager::InsertFacts(const std::vector<FactRecord>& inserts,
     IOLAP_RETURN_IF_ERROR(edb_appender.Append(row));
     ++stats->edb_rows_appended;
 
+    stats->touched_boxes.push_back(RegionRect(*schema_, f));
     std::vector<int64_t> hits;
     IOLAP_RETURN_IF_ERROR(rtree_->Search(RegionRect(*schema_, f), &hits));
     for (int64_t h : hits) {
-      if (directory_[h].alive) affected.insert(h);
+      if (directory_[h].alive) {
+        affected.insert(h);
+        stats->touched_boxes.push_back(directory_[h].bbox);
+      }
     }
   }
   edb_appender.Close();
@@ -710,11 +723,15 @@ Status MaintenanceManager::DeleteFacts(const std::vector<FactRecord>& deletes,
   std::set<FactId> deleted_precise;
 
   for (const FactRecord& f : deletes) {
+    stats->touched_boxes.push_back(RegionRect(*schema_, f));
     std::vector<int64_t> hits;
     IOLAP_RETURN_IF_ERROR(rtree_->Search(RegionRect(*schema_, f), &hits));
     std::vector<int64_t> alive_hits;
     for (int64_t h : hits) {
-      if (directory_[h].alive) alive_hits.push_back(h);
+      if (directory_[h].alive) {
+        alive_hits.push_back(h);
+        stats->touched_boxes.push_back(directory_[h].bbox);
+      }
     }
     if (f.IsPrecise(k)) {
       deleted_precise.insert(f.fact_id);

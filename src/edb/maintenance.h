@@ -27,6 +27,13 @@ struct FactUpdate {
 };
 
 struct MaintenanceStats {
+  /// Bounding boxes (inclusive leaf coordinates) of everything this batch
+  /// touched: each mutated fact's own region rect plus the pre-mutation
+  /// bboxes of every alive component it overlapped. Every EDB row whose
+  /// value changed (rewritten, appended, or tombstoned) lies inside one of
+  /// these boxes — the serve layer's cache invalidates exactly the cached
+  /// regions that intersect them. Appended across batches; not deduplicated.
+  std::vector<Rect> touched_boxes;
   int64_t updates_applied = 0;
   int64_t inserts_applied = 0;
   int64_t deletes_applied = 0;
@@ -102,6 +109,7 @@ class MaintenanceManager {
   Result<int64_t> CompactEdb();
 
   const TypedFile<EdbRecord>& edb() const { return build_result_.edb; }
+  const StarSchema& schema() const { return *schema_; }
   const AllocationResult& build_result() const { return build_result_; }
   const std::vector<MaintComponent>& directory() const { return directory_; }
   /// The disk-based spatial index over component bounding boxes. Non-const:

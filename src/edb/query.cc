@@ -4,14 +4,6 @@
 
 namespace iolap {
 
-bool QueryEngine::CellInRegion(const QueryRegion& region,
-                               const int32_t* leaf) const {
-  for (int d = 0; d < schema_->num_dims(); ++d) {
-    if (!schema_->dim(d).Covers(region.node[d], leaf[d])) return false;
-  }
-  return true;
-}
-
 Result<AggregateResult> QueryEngine::Aggregate(
     const QueryRegion& region, AggregateFunc func,
     ImpreciseSemantics semantics) const {
@@ -22,9 +14,8 @@ Result<AggregateResult> QueryEngine::Aggregate(
     while (!cursor.done()) {
       IOLAP_RETURN_IF_ERROR(cursor.Next(&rec));
       if (rec.weight == 0 && rec.fact_id == -1) continue;  // tombstone
-      if (!CellInRegion(region, rec.leaf)) continue;
-      out.sum += rec.weight * rec.measure;
-      out.count += rec.weight;
+      if (!RegionContainsLeaf(*schema_, region, rec.leaf)) continue;
+      AccumulateAggregate(&out, rec.weight, rec.measure);
     }
   } else {
     if (facts_ == nullptr) {
@@ -32,6 +23,7 @@ Result<AggregateResult> QueryEngine::Aggregate(
           "None/Contains/Overlaps semantics require the original fact table");
     }
     const int k = schema_->num_dims();
+    const Rect query_rect = RegionToRect(*schema_, region);
     auto cursor = facts_->Scan(env_->pool());
     FactRecord fact;
     while (!cursor.done()) {
@@ -42,39 +34,24 @@ Result<AggregateResult> QueryEngine::Aggregate(
         for (int d = 0; d < k; ++d) {
           leaf[d] = schema_->dim(d).leaf_begin(fact.node[d]);
         }
-        counted = CellInRegion(region, leaf);
+        counted = RegionContainsLeaf(*schema_, region, leaf);
       } else if (semantics == ImpreciseSemantics::kNone) {
         counted = false;
       } else {
-        bool contains = true, overlaps = true;
-        for (int d = 0; d < k && overlaps; ++d) {
+        Rect fact_rect;
+        for (int d = 0; d < k; ++d) {
           const Hierarchy& h = schema_->dim(d);
-          LeafId fb = h.leaf_begin(fact.node[d]), fe = h.leaf_end(fact.node[d]);
-          LeafId qb = h.leaf_begin(region.node[d]),
-                 qe = h.leaf_end(region.node[d]);
-          if (fb < qb || fe > qe) contains = false;
-          if (fe <= qb || qe <= fb) overlaps = false;
+          fact_rect.lo[d] = h.leaf_begin(fact.node[d]);
+          fact_rect.hi[d] = h.leaf_end(fact.node[d]) - 1;
         }
-        counted = semantics == ImpreciseSemantics::kContains ? contains
-                                                             : overlaps;
+        counted = semantics == ImpreciseSemantics::kContains
+                      ? RectContains(query_rect, fact_rect, k)
+                      : RectsIntersect(query_rect, fact_rect, k);
       }
-      if (counted) {
-        out.sum += fact.measure;
-        out.count += 1;
-      }
+      if (counted) AccumulateAggregate(&out, 1.0, fact.measure);
     }
   }
-  switch (func) {
-    case AggregateFunc::kSum:
-      out.value = out.sum;
-      break;
-    case AggregateFunc::kCount:
-      out.value = out.count;
-      break;
-    case AggregateFunc::kAverage:
-      out.value = out.count > 0 ? out.sum / out.count : 0;
-      break;
-  }
+  FinalizeAggregate(&out, func);
   return out;
 }
 
@@ -94,24 +71,11 @@ Result<std::vector<AggregateResult>> QueryEngine::RollUp(
   while (!cursor.done()) {
     IOLAP_RETURN_IF_ERROR(cursor.Next(&rec));
     if (rec.weight == 0 && rec.fact_id == -1) continue;  // tombstone
-    if (!CellInRegion(region, rec.leaf)) continue;
+    if (!RegionContainsLeaf(*schema_, region, rec.leaf)) continue;
     AggregateResult& g = groups[h.LeafAncestorOrdinal(rec.leaf[dim], level)];
-    g.sum += rec.weight * rec.measure;
-    g.count += rec.weight;
+    AccumulateAggregate(&g, rec.weight, rec.measure);
   }
-  for (AggregateResult& g : groups) {
-    switch (func) {
-      case AggregateFunc::kSum:
-        g.value = g.sum;
-        break;
-      case AggregateFunc::kCount:
-        g.value = g.count;
-        break;
-      case AggregateFunc::kAverage:
-        g.value = g.count > 0 ? g.sum / g.count : 0;
-        break;
-    }
-  }
+  for (AggregateResult& g : groups) FinalizeAggregate(&g, func);
   return groups;
 }
 
@@ -123,7 +87,7 @@ Result<std::vector<EdbRecord>> QueryEngine::FactsIn(
   while (!cursor.done()) {
     IOLAP_RETURN_IF_ERROR(cursor.Next(&rec));
     if (rec.weight == 0 && rec.fact_id == -1) continue;  // tombstone
-    if (CellInRegion(region, rec.leaf)) out.push_back(rec);
+    if (RegionContainsLeaf(*schema_, region, rec.leaf)) out.push_back(rec);
   }
   return out;
 }

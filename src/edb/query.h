@@ -1,17 +1,20 @@
 #ifndef IOLAP_EDB_QUERY_H_
 #define IOLAP_EDB_QUERY_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
 
 #include "common/result.h"
 #include "model/records.h"
 #include "model/schema.h"
+#include "rtree/rtree.h"
 #include "storage/paged_file.h"
 #include "storage/storage_env.h"
 
 namespace iolap {
 
-enum class AggregateFunc { kSum, kCount, kAverage };
+enum class AggregateFunc { kSum, kCount, kAverage, kMin, kMax };
 
 /// Semantics for aggregating over imprecise facts, following the companion
 /// paper (VLDB'05). The allocation-based semantics is the one this paper's
@@ -42,11 +45,125 @@ struct QueryRegion {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Region geometry — the one home for query-region normalization,
+// containment and intersection. QueryEngine's scan filter, the serve
+// layer's AggregateCache invalidation, and the R-tree box checks all go
+// through these helpers so the three can never disagree about what a
+// region covers.
+
+/// Does the cell with the given leaf coordinates lie inside `region`?
+inline bool RegionContainsLeaf(const StarSchema& schema,
+                               const QueryRegion& region,
+                               const int32_t* leaf) {
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    if (!schema.dim(d).Covers(region.node[d], leaf[d])) return false;
+  }
+  return true;
+}
+
+/// The axis-aligned box of leaf ids `region` covers (bounds inclusive, the
+/// same convention as the maintenance R-tree's component bounding boxes).
+inline Rect RegionToRect(const StarSchema& schema, const QueryRegion& region) {
+  Rect r;
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    const Hierarchy& h = schema.dim(d);
+    r.lo[d] = h.leaf_begin(region.node[d]);
+    r.hi[d] = h.leaf_end(region.node[d]) - 1;
+  }
+  return r;
+}
+
+/// Canonical form of a region: any node covering its dimension's full leaf
+/// range is rewritten to the root, so regions selecting the same cells
+/// share one representation (the serve cache keys on this).
+inline QueryRegion NormalizeRegion(const StarSchema& schema,
+                                   const QueryRegion& region) {
+  QueryRegion out = region;
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    const Hierarchy& h = schema.dim(d);
+    if (h.leaf_begin(out.node[d]) == 0 &&
+        h.leaf_end(out.node[d]) == h.num_leaves()) {
+      out.node[d] = h.root();
+    }
+  }
+  for (int d = schema.num_dims(); d < kMaxDims; ++d) out.node[d] = 0;
+  return out;
+}
+
+/// Does `region` intersect the leaf box `rect`? Used by the serve cache to
+/// decide whether a maintenance batch's touched component boxes overlap a
+/// cached result's region.
+inline bool RegionIntersectsRect(const StarSchema& schema,
+                                 const QueryRegion& region, const Rect& rect) {
+  return RectsIntersect(RegionToRect(schema, region), rect,
+                        schema.num_dims());
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate accumulation. One scan produces a raw (sum, count, min, max)
+// accumulator; partitioned scans merge their partials in partition order;
+// FinalizeAggregate then derives `value` and normalizes empty groups so
+// callers never see a division by zero or an un-sampled infinity.
+
 struct AggregateResult {
   double sum = 0;
   double count = 0;
+  /// Extremes of the *measure* over matching rows (unweighted; a fact's
+  /// measure is a property of the fact, not of its allocation split).
+  /// +/-infinity until the first row; FinalizeAggregate turns an empty
+  /// group's extremes into 0.
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
   double value = 0;  // the requested aggregate
 };
+
+/// Folds one matching row (EDB row with its allocation weight, or a
+/// baseline-semantics fact with weight 1) into the accumulator.
+inline void AccumulateAggregate(AggregateResult* acc, double weight,
+                                double measure) {
+  acc->sum += weight * measure;
+  acc->count += weight;
+  acc->min = std::min(acc->min, measure);
+  acc->max = std::max(acc->max, measure);
+}
+
+/// Merges a partition's partial accumulator into `acc`. Merge partials in
+/// ascending partition order so a partitioned scan is deterministic for a
+/// fixed partition count.
+inline void MergeAggregate(AggregateResult* acc, const AggregateResult& part) {
+  acc->sum += part.sum;
+  acc->count += part.count;
+  acc->min = std::min(acc->min, part.min);
+  acc->max = std::max(acc->max, part.max);
+}
+
+/// Derives `value` from the accumulator. An empty group (count == 0) is
+/// well-defined: sum = count = value = 0 and the extremes are reset to 0
+/// (never a 0/0 average, never an escaped infinity).
+inline void FinalizeAggregate(AggregateResult* acc, AggregateFunc func) {
+  if (acc->count <= 0) {
+    acc->min = 0;
+    acc->max = 0;
+  }
+  switch (func) {
+    case AggregateFunc::kSum:
+      acc->value = acc->sum;
+      break;
+    case AggregateFunc::kCount:
+      acc->value = acc->count;
+      break;
+    case AggregateFunc::kAverage:
+      acc->value = acc->count > 0 ? acc->sum / acc->count : 0;
+      break;
+    case AggregateFunc::kMin:
+      acc->value = acc->min;
+      break;
+    case AggregateFunc::kMax:
+      acc->value = acc->max;
+      break;
+  }
+}
 
 /// Aggregation over the Extended Database (and optionally the original
 /// fact table, for the baseline semantics).
@@ -57,8 +174,8 @@ class QueryEngine {
               const TypedFile<FactRecord>* facts = nullptr)
       : env_(env), schema_(schema), edb_(edb), facts_(facts) {}
 
-  /// SUM / COUNT / AVERAGE of the measure over the query region under the
-  /// given semantics. The baseline semantics require a fact table.
+  /// SUM / COUNT / AVERAGE / MIN / MAX of the measure over the query region
+  /// under the given semantics. The baseline semantics require a fact table.
   Result<AggregateResult> Aggregate(const QueryRegion& region,
                                     AggregateFunc func,
                                     ImpreciseSemantics semantics =
@@ -83,8 +200,6 @@ class QueryEngine {
   Result<std::vector<EdbRecord>> CompletionsOf(FactId fact_id) const;
 
  private:
-  bool CellInRegion(const QueryRegion& region, const int32_t* leaf) const;
-
   StorageEnv* env_;
   const StarSchema* schema_;
   const TypedFile<EdbRecord>* edb_;

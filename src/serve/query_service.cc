@@ -1,0 +1,379 @@
+#include "serve/query_service.h"
+
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace iolap {
+
+namespace {
+
+Histogram* GlobalHistogramOrNull(const char* name) {
+  MetricsRegistry* m = GlobalMetrics();
+  return m != nullptr ? m->histogram(name) : nullptr;
+}
+
+}  // namespace
+
+QueryService::QueryService(MaintenanceManager* manager,
+                           const ServeOptions& options)
+    : env_(&manager->env()),
+      schema_(&manager->schema()),
+      edb_(&manager->edb()),
+      manager_(manager),
+      options_(options),
+      queries_counter_(GlobalCounter("serve.queries")),
+      mutations_counter_(GlobalCounter("serve.mutations")),
+      partitions_counter_(GlobalCounter("serve.scan_partitions")),
+      generation_gauge_(GlobalGauge("serve.generation")),
+      query_us_histogram_(GlobalHistogramOrNull("serve.query_us")) {
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+  if (options_.cache_slots > 0) {
+    cache_ = std::make_unique<AggregateCache>(options_.cache_slots);
+  }
+}
+
+QueryService::QueryService(StorageEnv* env, const StarSchema* schema,
+                           const TypedFile<EdbRecord>* edb,
+                           const ServeOptions& options)
+    : env_(env),
+      schema_(schema),
+      edb_(edb),
+      manager_(nullptr),
+      options_(options),
+      queries_counter_(GlobalCounter("serve.queries")),
+      mutations_counter_(GlobalCounter("serve.mutations")),
+      partitions_counter_(GlobalCounter("serve.scan_partitions")),
+      generation_gauge_(GlobalGauge("serve.generation")),
+      query_us_histogram_(GlobalHistogramOrNull("serve.query_us")) {
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+  if (options_.cache_slots > 0) {
+    cache_ = std::make_unique<AggregateCache>(options_.cache_slots);
+  }
+}
+
+int QueryService::PartitionCount(int64_t rows) const {
+  if (pool_ == nullptr || rows <= options_.min_partition_rows) return 1;
+  const int64_t by_rows =
+      (rows + options_.min_partition_rows - 1) / options_.min_partition_rows;
+  const int64_t p =
+      std::min<int64_t>(by_rows, static_cast<int64_t>(pool_->num_threads()));
+  return static_cast<int>(std::max<int64_t>(1, p));
+}
+
+Result<AggregateResult> QueryService::ScanAggregate(const QueryRegion& region,
+                                                    AggregateFunc func) {
+  const int64_t rows = edb_->size();
+  const int num_parts = PartitionCount(rows);
+  if (partitions_counter_ != nullptr) partitions_counter_->Add(num_parts);
+
+  std::vector<AggregateResult> parts(num_parts);
+  auto scan_partition = [this, &region](int64_t start, int64_t end,
+                                        AggregateResult* part) -> Status {
+    auto cursor = edb_->Scan(env_->pool(), start, end);
+    EdbRecord rec;
+    while (!cursor.done()) {
+      IOLAP_RETURN_IF_ERROR(cursor.Next(&rec));
+      if (rec.weight == 0 && rec.fact_id == -1) continue;  // tombstone
+      if (!RegionContainsLeaf(*schema_, region, rec.leaf)) continue;
+      AccumulateAggregate(part, rec.weight, rec.measure);
+    }
+    return Status::Ok();
+  };
+
+  if (num_parts == 1) {
+    IOLAP_RETURN_IF_ERROR(scan_partition(0, rows, &parts[0]));
+  } else {
+    // Page-aligned contiguous partitions: no two tasks share a page, so
+    // every read pin is for a page only this task touches.
+    const int64_t pages = edb_->size_in_pages();
+    const int64_t pages_per_part = (pages + num_parts - 1) / num_parts;
+    std::vector<TaskFuture> futures;
+    futures.reserve(num_parts);
+    for (int p = 0; p < num_parts; ++p) {
+      const int64_t start = std::min(
+          rows, p * pages_per_part * TypedFile<EdbRecord>::kRecordsPerPage);
+      const int64_t end =
+          std::min(rows, (p + 1) * pages_per_part *
+                             TypedFile<EdbRecord>::kRecordsPerPage);
+      AggregateResult* part = &parts[p];
+      futures.push_back(pool_->Submit([scan_partition, start, end, part] {
+        return scan_partition(start, end, part);
+      }));
+    }
+    Status status = Status::Ok();
+    for (const TaskFuture& f : futures) {
+      Status s = f.Wait();
+      if (status.ok() && !s.ok()) status = s;
+    }
+    IOLAP_RETURN_IF_ERROR(status);
+  }
+
+  AggregateResult out;
+  // Ascending partition order keeps the merged result deterministic for a
+  // fixed partition count.
+  for (const AggregateResult& part : parts) MergeAggregate(&out, part);
+  FinalizeAggregate(&out, func);
+  return out;
+}
+
+Result<std::vector<AggregateResult>> QueryService::ScanRollUp(
+    const QueryRegion& region, int dim, int level, AggregateFunc func) {
+  if (dim < 0 || dim >= schema_->num_dims()) {
+    return Status::InvalidArgument("rollup dimension out of range");
+  }
+  const Hierarchy& h = schema_->dim(dim);
+  if (level < 1 || level > h.num_levels()) {
+    return Status::InvalidArgument("rollup level out of range");
+  }
+  const int64_t num_groups = h.num_nodes_at_level(level);
+  const int64_t rows = edb_->size();
+  const int num_parts = PartitionCount(rows);
+  if (partitions_counter_ != nullptr) partitions_counter_->Add(num_parts);
+
+  std::vector<std::vector<AggregateResult>> parts(num_parts);
+  for (auto& part : parts) part.resize(num_groups);
+  auto scan_partition = [this, &region, &h, dim, level](
+                            int64_t start, int64_t end,
+                            std::vector<AggregateResult>* part) -> Status {
+    auto cursor = edb_->Scan(env_->pool(), start, end);
+    EdbRecord rec;
+    while (!cursor.done()) {
+      IOLAP_RETURN_IF_ERROR(cursor.Next(&rec));
+      if (rec.weight == 0 && rec.fact_id == -1) continue;  // tombstone
+      if (!RegionContainsLeaf(*schema_, region, rec.leaf)) continue;
+      AggregateResult& g = (*part)[h.LeafAncestorOrdinal(rec.leaf[dim], level)];
+      AccumulateAggregate(&g, rec.weight, rec.measure);
+    }
+    return Status::Ok();
+  };
+
+  if (num_parts == 1) {
+    IOLAP_RETURN_IF_ERROR(scan_partition(0, rows, &parts[0]));
+  } else {
+    const int64_t pages = edb_->size_in_pages();
+    const int64_t pages_per_part = (pages + num_parts - 1) / num_parts;
+    std::vector<TaskFuture> futures;
+    futures.reserve(num_parts);
+    for (int p = 0; p < num_parts; ++p) {
+      const int64_t start = std::min(
+          rows, p * pages_per_part * TypedFile<EdbRecord>::kRecordsPerPage);
+      const int64_t end =
+          std::min(rows, (p + 1) * pages_per_part *
+                             TypedFile<EdbRecord>::kRecordsPerPage);
+      std::vector<AggregateResult>* part = &parts[p];
+      futures.push_back(pool_->Submit([scan_partition, start, end, part] {
+        return scan_partition(start, end, part);
+      }));
+    }
+    Status status = Status::Ok();
+    for (const TaskFuture& f : futures) {
+      Status s = f.Wait();
+      if (status.ok() && !s.ok()) status = s;
+    }
+    IOLAP_RETURN_IF_ERROR(status);
+  }
+
+  std::vector<AggregateResult> groups(num_groups);
+  for (const std::vector<AggregateResult>& part : parts) {
+    for (int64_t g = 0; g < num_groups; ++g) {
+      MergeAggregate(&groups[g], part[g]);
+    }
+  }
+  for (AggregateResult& g : groups) FinalizeAggregate(&g, func);
+  return groups;
+}
+
+Result<AggregateResult> QueryService::Aggregate(const QueryRegion& region,
+                                                AggregateFunc func,
+                                                int64_t* generation,
+                                                bool* cache_hit) {
+  TraceSpan span("serve.query");
+  Stopwatch timer;
+  if (queries_counter_ != nullptr) queries_counter_->Add(1);
+  std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+  const int64_t gen = generation_.load(std::memory_order_acquire);
+  if (generation != nullptr) *generation = gen;
+  if (cache_hit != nullptr) *cache_hit = false;
+
+  AggregateCacheKey key;
+  std::vector<AggregateResult> cached;
+  if (cache_ != nullptr) {
+    key = AggregateCache::MakeAggregateKey(*schema_, region, func);
+    if (cache_->Lookup(key, &cached) && cached.size() == 1) {
+      if (cache_hit != nullptr) *cache_hit = true;
+      span.AddArg("cache_hit", 1);
+      if (query_us_histogram_ != nullptr) {
+        query_us_histogram_->Record(
+            static_cast<int64_t>(timer.ElapsedSeconds() * 1e6));
+      }
+      return cached[0];
+    }
+  }
+
+  IOLAP_ASSIGN_OR_RETURN(AggregateResult out, ScanAggregate(region, func));
+  if (cache_ != nullptr) {
+    cache_->Insert(key, RegionToRect(*schema_, region), {out}, gen);
+  }
+  if (query_us_histogram_ != nullptr) {
+    query_us_histogram_->Record(
+        static_cast<int64_t>(timer.ElapsedSeconds() * 1e6));
+  }
+  return out;
+}
+
+Result<std::vector<AggregateResult>> QueryService::RollUp(
+    const QueryRegion& region, int dim, int level, AggregateFunc func,
+    int64_t* generation, bool* cache_hit) {
+  TraceSpan span("serve.query");
+  Stopwatch timer;
+  if (queries_counter_ != nullptr) queries_counter_->Add(1);
+  std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+  const int64_t gen = generation_.load(std::memory_order_acquire);
+  if (generation != nullptr) *generation = gen;
+  if (cache_hit != nullptr) *cache_hit = false;
+
+  AggregateCacheKey key;
+  std::vector<AggregateResult> cached;
+  if (cache_ != nullptr) {
+    key = AggregateCache::MakeRollUpKey(*schema_, region, dim, level, func);
+    if (cache_->Lookup(key, &cached)) {
+      if (cache_hit != nullptr) *cache_hit = true;
+      span.AddArg("cache_hit", 1);
+      if (query_us_histogram_ != nullptr) {
+        query_us_histogram_->Record(
+            static_cast<int64_t>(timer.ElapsedSeconds() * 1e6));
+      }
+      return cached;
+    }
+  }
+
+  IOLAP_ASSIGN_OR_RETURN(std::vector<AggregateResult> groups,
+                         ScanRollUp(region, dim, level, func));
+  if (cache_ != nullptr) {
+    cache_->Insert(key, RegionToRect(*schema_, region), groups, gen);
+  }
+  if (query_us_histogram_ != nullptr) {
+    query_us_histogram_->Record(
+        static_cast<int64_t>(timer.ElapsedSeconds() * 1e6));
+  }
+  return groups;
+}
+
+Result<std::vector<EdbRecord>> QueryService::CompletionsOf(
+    FactId fact_id, int64_t* generation) {
+  TraceSpan span("serve.query");
+  if (queries_counter_ != nullptr) queries_counter_->Add(1);
+  std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+  if (generation != nullptr) {
+    *generation = generation_.load(std::memory_order_acquire);
+  }
+  QueryEngine engine(env_, schema_, edb_);
+  return engine.CompletionsOf(fact_id);
+}
+
+Result<AggregateResult> QueryService::UncachedAggregate(
+    const QueryRegion& region, AggregateFunc func, int64_t* generation) {
+  TraceSpan span("serve.query");
+  if (queries_counter_ != nullptr) queries_counter_->Add(1);
+  std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+  if (generation != nullptr) {
+    *generation = generation_.load(std::memory_order_acquire);
+  }
+  return ScanAggregate(region, func);
+}
+
+Result<std::vector<AggregateResult>> QueryService::UncachedRollUp(
+    const QueryRegion& region, int dim, int level, AggregateFunc func,
+    int64_t* generation) {
+  TraceSpan span("serve.query");
+  if (queries_counter_ != nullptr) queries_counter_->Add(1);
+  std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+  if (generation != nullptr) {
+    *generation = generation_.load(std::memory_order_acquire);
+  }
+  return ScanRollUp(region, dim, level, func);
+}
+
+Status QueryService::MutateLocked(
+    MaintenanceStats* stats,
+    const std::function<Status(MaintenanceStats*)>& apply) {
+  if (manager_ == nullptr) {
+    return Status::FailedPrecondition(
+        "QueryService is read-only (no MaintenanceManager)");
+  }
+  TraceSpan span("serve.commit");
+  std::unique_lock<std::shared_mutex> lock(snapshot_mu_);
+  MaintenanceStats local;
+  MaintenanceStats* s = stats != nullptr ? stats : &local;
+  // Stats may be reused across batches; only this batch's boxes matter.
+  const size_t box_start = s->touched_boxes.size();
+  Status status = apply(s);
+  // Bump even on failure: a failed batch may have partially applied, and a
+  // stale generation must never look current.
+  const int64_t gen =
+      generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (generation_gauge_ != nullptr) generation_gauge_->Set(gen);
+  if (mutations_counter_ != nullptr) mutations_counter_->Add(1);
+  if (cache_ != nullptr) {
+    if (!status.ok()) {
+      cache_->Clear();
+    } else {
+      const int64_t dropped = cache_->Invalidate(
+          s->touched_boxes.data() + box_start,
+          s->touched_boxes.size() - box_start, schema_->num_dims());
+      span.AddArg("invalidated_entries", dropped);
+    }
+  }
+  return status;
+}
+
+Status QueryService::ApplyUpdates(const std::vector<FactUpdate>& updates,
+                                  MaintenanceStats* stats) {
+  return MutateLocked(stats, [this, &updates](MaintenanceStats* s) {
+    return manager_->ApplyUpdates(updates, s);
+  });
+}
+
+Status QueryService::InsertFacts(const std::vector<FactRecord>& inserts,
+                                 MaintenanceStats* stats) {
+  return MutateLocked(stats, [this, &inserts](MaintenanceStats* s) {
+    return manager_->InsertFacts(inserts, s);
+  });
+}
+
+Status QueryService::DeleteFacts(const std::vector<FactRecord>& deletes,
+                                 MaintenanceStats* stats) {
+  return MutateLocked(stats, [this, &deletes](MaintenanceStats* s) {
+    return manager_->DeleteFacts(deletes, s);
+  });
+}
+
+Result<int64_t> QueryService::Compact() {
+  if (manager_ == nullptr) {
+    return Status::FailedPrecondition(
+        "QueryService is read-only (no MaintenanceManager)");
+  }
+  TraceSpan span("serve.commit");
+  std::unique_lock<std::shared_mutex> lock(snapshot_mu_);
+  Result<int64_t> removed = manager_->CompactEdb();
+  if (!removed.ok()) {
+    // The rewrite may have partially applied; drop everything and force a
+    // new generation so nothing stale survives.
+    if (cache_ != nullptr) cache_->Clear();
+    const int64_t gen =
+        generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (generation_gauge_ != nullptr) generation_gauge_->Set(gen);
+  }
+  // On success the logical EDB content is unchanged (only tombstones were
+  // squeezed out), so cached results stay valid and the generation holds.
+  return removed;
+}
+
+}  // namespace iolap

@@ -1,0 +1,155 @@
+#ifndef IOLAP_SERVE_QUERY_SERVICE_H_
+#define IOLAP_SERVE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "edb/maintenance.h"
+#include "edb/query.h"
+#include "exec/thread_pool.h"
+#include "serve/aggregate_cache.h"
+#include "storage/storage_env.h"
+
+namespace iolap {
+
+struct ServeOptions {
+  /// Worker threads for partitioned scans. 1 = scan inline on the calling
+  /// thread (no pool).
+  int num_threads = 1;
+  /// A scan is split into at most num_threads partitions, but never into
+  /// partitions smaller than this many EDB rows — partitioning a tiny EDB
+  /// buys nothing and costs task dispatch.
+  int64_t min_partition_rows = 4096;
+  /// Aggregate-cache capacity in result slots (a point aggregate costs 1
+  /// slot, a rollup one slot per group). 0 disables caching entirely.
+  int64_t cache_slots = 4096;
+};
+
+/// Concurrent query-serving front end over the Extended Database.
+///
+/// Concurrency model (the generation/snapshot contract):
+///  * Every query runs under a shared lock and *pins the generation it
+///    started on*: maintenance commits take the lock exclusively, so a
+///    query observes either all of a maintenance batch or none of it —
+///    never a half-applied rewrite.
+///  * Each committed batch bumps the generation and selectively
+///    invalidates cached results whose region intersects the batch's
+///    touched component bounding boxes (MaintenanceStats::touched_boxes).
+///    Any cache entry still present is therefore valid for the current
+///    generation, and a hit can be returned without touching the EDB.
+///  * Scans partition the EDB into page-aligned ranges executed on an
+///    internal ThreadPool and merged in partition order, so a result is
+///    deterministic for a fixed partition count.
+///
+/// Two modes:
+///  * maintained — constructed over a MaintenanceManager; mutations route
+///    through the service and invalidate selectively.
+///  * read-only — constructed over a static EDB file; the generation stays
+///    0 and mutation calls fail with kFailedPrecondition.
+class QueryService {
+ public:
+  /// Serves `manager`'s EDB; mutations go through the service.
+  QueryService(MaintenanceManager* manager, const ServeOptions& options);
+
+  /// Read-only service over a static EDB.
+  QueryService(StorageEnv* env, const StarSchema* schema,
+               const TypedFile<EdbRecord>* edb, const ServeOptions& options);
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Allocation-weighted aggregate over `region`, served from the cache
+  /// when possible. Outputs the pinned generation and whether the answer
+  /// came from the cache (both optional).
+  Result<AggregateResult> Aggregate(const QueryRegion& region,
+                                    AggregateFunc func,
+                                    int64_t* generation = nullptr,
+                                    bool* cache_hit = nullptr);
+
+  /// Cached rollup (one aggregate per node of `dim` at `level`, restricted
+  /// to `region`), indexed by node ordinal.
+  Result<std::vector<AggregateResult>> RollUp(const QueryRegion& region,
+                                              int dim, int level,
+                                              AggregateFunc func,
+                                              int64_t* generation = nullptr,
+                                              bool* cache_hit = nullptr);
+
+  /// Provenance: a fact's completions with their allocation weights.
+  /// Uncached (point lookups don't amortize), but snapshot-consistent.
+  Result<std::vector<EdbRecord>> CompletionsOf(FactId fact_id,
+                                               int64_t* generation = nullptr);
+
+  /// Rescans the EDB, bypassing the cache in both directions (no lookup,
+  /// no insert). The verification and cold-scan baseline: a cached answer
+  /// must equal this at the same generation.
+  Result<AggregateResult> UncachedAggregate(const QueryRegion& region,
+                                            AggregateFunc func,
+                                            int64_t* generation = nullptr);
+  Result<std::vector<AggregateResult>> UncachedRollUp(
+      const QueryRegion& region, int dim, int level, AggregateFunc func,
+      int64_t* generation = nullptr);
+
+  /// Mutations (maintained mode only). Applied under the exclusive lock;
+  /// on success the generation is bumped and intersecting cache entries
+  /// dropped. On failure the cache is cleared wholesale (the batch may
+  /// have partially applied) and the generation is bumped anyway, so no
+  /// stale entry can ever be served.
+  Status ApplyUpdates(const std::vector<FactUpdate>& updates,
+                      MaintenanceStats* stats = nullptr);
+  Status InsertFacts(const std::vector<FactRecord>& inserts,
+                     MaintenanceStats* stats = nullptr);
+  Status DeleteFacts(const std::vector<FactRecord>& deletes,
+                     MaintenanceStats* stats = nullptr);
+
+  /// Compacts tombstones out of the EDB (maintained mode only). Logical
+  /// content is unchanged, so cached results stay valid and the
+  /// generation does not move.
+  Result<int64_t> Compact();
+
+  int64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+  /// Null when options.cache_slots == 0.
+  AggregateCache* cache() { return cache_.get(); }
+  const StarSchema& schema() const { return *schema_; }
+
+ private:
+  Status MutateLocked(MaintenanceStats* stats,
+                      const std::function<Status(MaintenanceStats*)>& apply);
+
+  /// Partitioned scans; caller must hold the shared lock.
+  Result<AggregateResult> ScanAggregate(const QueryRegion& region,
+                                        AggregateFunc func);
+  Result<std::vector<AggregateResult>> ScanRollUp(const QueryRegion& region,
+                                                  int dim, int level,
+                                                  AggregateFunc func);
+  int PartitionCount(int64_t rows) const;
+
+  StorageEnv* env_;
+  const StarSchema* schema_;
+  const TypedFile<EdbRecord>* edb_;
+  MaintenanceManager* manager_;  // null in read-only mode
+  ServeOptions options_;
+  std::unique_ptr<ThreadPool> pool_;     // null when num_threads <= 1
+  std::unique_ptr<AggregateCache> cache_;  // null when cache_slots <= 0
+
+  /// Readers shared, maintenance exclusive; acquired before the cache
+  /// mutex, never after it.
+  std::shared_mutex snapshot_mu_;
+  std::atomic<int64_t> generation_{0};
+
+  // Cached global-metrics handles (null when observability is disabled).
+  class Counter* queries_counter_;
+  class Counter* mutations_counter_;
+  class Counter* partitions_counter_;
+  class Gauge* generation_gauge_;
+  class Histogram* query_us_histogram_;
+};
+
+}  // namespace iolap
+
+#endif  // IOLAP_SERVE_QUERY_SERVICE_H_

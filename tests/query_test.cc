@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "alloc/allocator.h"
@@ -119,6 +120,53 @@ TEST_F(QueryTest, AverageAndEmptyRegion) {
       AggregateResult global_avg,
       engine.Aggregate(QueryRegion::All(), AggregateFunc::kAverage));
   EXPECT_NEAR(global_avg.value, 1705.0 / 14, 1e-9);
+}
+
+TEST_F(QueryTest, MinMaxAggregates) {
+  QueryEngine engine(&env_, &schema_, &result_.edb, &original_);
+  // Extremes of the *measure* over matching rows: p5 (50) is the smallest
+  // fact, p10 (200) the largest, and both allocate somewhere.
+  IOLAP_ASSERT_OK_AND_ASSIGN(
+      AggregateResult mn,
+      engine.Aggregate(QueryRegion::All(), AggregateFunc::kMin));
+  IOLAP_ASSERT_OK_AND_ASSIGN(
+      AggregateResult mx,
+      engine.Aggregate(QueryRegion::All(), AggregateFunc::kMax));
+  EXPECT_NEAR(mn.value, 50.0, 1e-9);
+  EXPECT_NEAR(mx.value, 200.0, 1e-9);
+
+  // An empty region normalizes its extremes to 0 — no escaped infinity.
+  IOLAP_ASSERT_OK_AND_ASSIGN(NodeId tx, schema_.dim(0).FindNode("TX"));
+  QueryRegion tx_region = QueryRegion::All().With(0, tx);
+  IOLAP_ASSERT_OK_AND_ASSIGN(
+      AggregateResult empty_min,
+      engine.Aggregate(tx_region, AggregateFunc::kMin));
+  IOLAP_ASSERT_OK_AND_ASSIGN(
+      AggregateResult empty_max,
+      engine.Aggregate(tx_region, AggregateFunc::kMax));
+  EXPECT_EQ(empty_min.value, 0);
+  EXPECT_EQ(empty_max.value, 0);
+  EXPECT_EQ(empty_min.min, 0);
+  EXPECT_EQ(empty_max.max, 0);
+}
+
+TEST_F(QueryTest, RollUpMinMaxCoverEmptyGroups) {
+  QueryEngine engine(&env_, &schema_, &result_.edb, &original_);
+  IOLAP_ASSERT_OK_AND_ASSIGN(
+      auto groups, engine.RollUp(QueryRegion::All(), /*dim=*/0, /*level=*/1,
+                                 AggregateFunc::kMin));
+  const auto& states = schema_.dim(0).nodes_at_level(1);
+  ASSERT_EQ(groups.size(), states.size());
+  for (size_t i = 0; i < states.size(); ++i) {
+    IOLAP_ASSERT_OK_AND_ASSIGN(
+        AggregateResult single,
+        engine.Aggregate(QueryRegion::All().With(0, states[i]),
+                         AggregateFunc::kMin));
+    EXPECT_NEAR(groups[i].value, single.value, 1e-9)
+        << schema_.dim(0).name(states[i]);
+    // Empty groups (TX has no cell in C) finalize to 0, never infinity.
+    EXPECT_TRUE(std::isfinite(groups[i].value));
+  }
 }
 
 TEST_F(QueryTest, RollUpByRegionMatchesPerNodeAggregates) {

@@ -30,6 +30,20 @@
 //       [--func=sum|count|avg]
 //       Allocates, then answers one aggregation under all four semantics.
 //
+//   iolap_cli serve --schema=s.csv --facts=f.csv --serve-workload=trace.txt
+//       [--serve-threads=4] [--cache-slots=4096] [--min-partition-rows=4096]
+//       Builds the Extended Database behind the maintenance layer and
+//       replays a query/mutation trace through the serving subsystem
+//       (partitioned parallel scans + generation-versioned aggregate
+//       cache). Trace lines, one op each ('#' comments):
+//         agg <sum|count|avg|min|max> [Dim=Node]...
+//         rollup <func> <Dim> <level> [Dim=Node]...
+//         completions <fact_id>
+//         update <fact_id> <measure>
+//         insert <fact_id> <measure> [Dim=Node]...
+//         delete <fact_id>
+//         compact
+//
 //   Every command also accepts [--metrics-out=m.json] [--trace-out=t.json]:
 //   --metrics-out dumps a flat JSON object of run counters/gauges,
 //   --trace-out records a Chrome trace_event span tree loadable in
@@ -41,13 +55,17 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
+#include <unordered_map>
 
 #include "alloc/allocator.h"
 #include "alloc/estimator.h"
+#include "edb/maintenance.h"
 #include "edb/query.h"
 #include "examples/example_util.h"
 #include "io/csv.h"
 #include "obs/obs.h"
+#include "serve/query_service.h"
 
 using namespace iolap;
 
@@ -55,7 +73,7 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: iolap_cli <sample|estimate|allocate|query> "
+               "usage: iolap_cli <sample|estimate|allocate|query|serve> "
                "[--flags]\n(see the header of tools/iolap_cli.cpp)\n");
   return 2;
 }
@@ -247,6 +265,209 @@ int CmdQuery(const Flags& flags) {
   return 0;
 }
 
+AggregateFunc ParseFunc(const std::string& name) {
+  if (name == "count") return AggregateFunc::kCount;
+  if (name == "avg") return AggregateFunc::kAverage;
+  if (name == "min") return AggregateFunc::kMin;
+  if (name == "max") return AggregateFunc::kMax;
+  return AggregateFunc::kSum;
+}
+
+/// Resolves one "Dimension=Node" workload token against the schema.
+Result<std::pair<int, NodeId>> ParseDimNode(const StarSchema& schema,
+                                            const std::string& token) {
+  size_t eq = token.find('=');
+  if (eq == std::string::npos) {
+    return Status::InvalidArgument("expected Dim=Node, got '" + token + "'");
+  }
+  std::string dim_name = token.substr(0, eq);
+  std::string node_name = token.substr(eq + 1);
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    if (schema.dim(d).dimension_name() == dim_name) {
+      IOLAP_ASSIGN_OR_RETURN(NodeId node, schema.dim(d).FindNode(node_name));
+      return std::make_pair(d, node);
+    }
+  }
+  return Status::InvalidArgument("unknown dimension '" + dim_name + "'");
+}
+
+/// Replays one query/mutation trace line against the service. `catalog`
+/// mirrors the current fact table so update/delete can supply the stored
+/// record the maintenance layer expects.
+Status ReplayLine(const StarSchema& schema, QueryService& service,
+                  std::unordered_map<FactId, FactRecord>& catalog,
+                  const std::string& line) {
+  std::istringstream in(line.substr(0, line.find('#')));
+  std::string op;
+  if (!(in >> op)) return Status::Ok();
+  std::string token;
+
+  if (op == "agg") {
+    std::string func_name;
+    in >> func_name;
+    QueryRegion region = QueryRegion::All();
+    while (in >> token) {
+      IOLAP_ASSIGN_OR_RETURN(auto dn, ParseDimNode(schema, token));
+      region.With(dn.first, dn.second);
+    }
+    int64_t gen = 0;
+    bool hit = false;
+    IOLAP_ASSIGN_OR_RETURN(
+        AggregateResult r,
+        service.Aggregate(region, ParseFunc(func_name), &gen, &hit));
+    std::printf("agg %-5s -> %14.4f  (gen %" PRId64 ", %s)\n",
+                func_name.c_str(), r.value, gen, hit ? "hit" : "miss");
+    return Status::Ok();
+  }
+  if (op == "rollup") {
+    std::string func_name, dim_name;
+    int level = 0;
+    in >> func_name >> dim_name >> level;
+    int dim = -1;
+    for (int d = 0; d < schema.num_dims(); ++d) {
+      if (schema.dim(d).dimension_name() == dim_name) dim = d;
+    }
+    if (dim < 0) {
+      return Status::InvalidArgument("unknown dimension '" + dim_name + "'");
+    }
+    QueryRegion region = QueryRegion::All();
+    while (in >> token) {
+      IOLAP_ASSIGN_OR_RETURN(auto dn, ParseDimNode(schema, token));
+      region.With(dn.first, dn.second);
+    }
+    int64_t gen = 0;
+    bool hit = false;
+    IOLAP_ASSIGN_OR_RETURN(
+        auto groups,
+        service.RollUp(region, dim, level, ParseFunc(func_name), &gen, &hit));
+    std::printf("rollup %s by %s@%d -> %zu groups (gen %" PRId64 ", %s)\n",
+                func_name.c_str(), dim_name.c_str(), level, groups.size(),
+                gen, hit ? "hit" : "miss");
+    const auto& nodes = schema.dim(dim).nodes_at_level(level);
+    for (size_t i = 0; i < groups.size(); ++i) {
+      std::printf("  %-12s %14.4f\n", schema.dim(dim).name(nodes[i]).c_str(),
+                  groups[i].value);
+    }
+    return Status::Ok();
+  }
+  if (op == "completions") {
+    FactId id = -1;
+    in >> id;
+    int64_t gen = 0;
+    IOLAP_ASSIGN_OR_RETURN(auto rows, service.CompletionsOf(id, &gen));
+    std::printf("completions %" PRId64 " -> %zu cells (gen %" PRId64 ")\n",
+                id, rows.size(), gen);
+    for (const EdbRecord& rec : rows) {
+      std::printf("  weight %.4f measure %.2f\n", rec.weight, rec.measure);
+    }
+    return Status::Ok();
+  }
+  if (op == "update") {
+    FactId id = -1;
+    double measure = 0;
+    in >> id >> measure;
+    auto it = catalog.find(id);
+    if (it == catalog.end()) {
+      return Status::InvalidArgument("update: unknown fact id");
+    }
+    IOLAP_RETURN_IF_ERROR(
+        service.ApplyUpdates({FactUpdate{it->second, measure}}));
+    it->second.measure = measure;
+    std::printf("update %" PRId64 " -> gen %" PRId64 "\n", id,
+                service.generation());
+    return Status::Ok();
+  }
+  if (op == "insert") {
+    FactRecord f;
+    in >> f.fact_id >> f.measure;
+    for (int d = 0; d < schema.num_dims(); ++d) {
+      f.node[d] = schema.dim(d).root();
+      f.level[d] = static_cast<uint8_t>(schema.dim(d).num_levels());
+    }
+    while (in >> token) {
+      IOLAP_ASSIGN_OR_RETURN(auto dn, ParseDimNode(schema, token));
+      f.node[dn.first] = dn.second;
+      f.level[dn.first] =
+          static_cast<uint8_t>(schema.dim(dn.first).level(dn.second));
+    }
+    IOLAP_RETURN_IF_ERROR(service.InsertFacts({f}));
+    catalog[f.fact_id] = f;
+    std::printf("insert %" PRId64 " -> gen %" PRId64 "\n", f.fact_id,
+                service.generation());
+    return Status::Ok();
+  }
+  if (op == "delete") {
+    FactId id = -1;
+    in >> id;
+    auto it = catalog.find(id);
+    if (it == catalog.end()) {
+      return Status::InvalidArgument("delete: unknown fact id");
+    }
+    IOLAP_RETURN_IF_ERROR(service.DeleteFacts({it->second}));
+    catalog.erase(it);
+    std::printf("delete %" PRId64 " -> gen %" PRId64 "\n", id,
+                service.generation());
+    return Status::Ok();
+  }
+  if (op == "compact") {
+    IOLAP_ASSIGN_OR_RETURN(int64_t removed, service.Compact());
+    std::printf("compact -> removed %" PRId64 " tombstones\n", removed);
+    return Status::Ok();
+  }
+  return Status::InvalidArgument("unknown workload op '" + op + "'");
+}
+
+int CmdServe(const Flags& flags) {
+  StarSchema schema = Unwrap(LoadSchemaCsv(flags.GetString("schema", "")));
+  StorageEnv env(MakeWorkDir("cli"), flags.GetInt("buffer-pages", 4096));
+  TypedFile<FactRecord> facts =
+      Unwrap(LoadFactsCsv(env, schema, flags.GetString("facts", "")));
+  std::unordered_map<FactId, FactRecord> catalog;
+  {
+    auto cursor = facts.Scan(env.pool());
+    FactRecord f;
+    while (!cursor.done()) {
+      DieOnError(cursor.Next(&f));
+      catalog[f.fact_id] = f;
+    }
+  }
+  AllocationOptions options;
+  options.policy = ParsePolicy(flags.GetString("policy", "count"));
+  options.epsilon = flags.GetDouble("epsilon", 0.005);
+  auto manager =
+      Unwrap(MaintenanceManager::Build(env, schema, &facts, options));
+
+  ServeOptions sopts;
+  sopts.num_threads = static_cast<int>(flags.GetInt("serve-threads", 4));
+  sopts.min_partition_rows = flags.GetInt("min-partition-rows", 4096);
+  sopts.cache_slots = flags.GetInt("cache-slots", 4096);
+  QueryService service(manager.get(), sopts);
+
+  std::string workload = flags.GetString("serve-workload", "");
+  if (workload.empty()) {
+    std::fprintf(stderr, "serve requires --serve-workload=<trace file>\n");
+    return 2;
+  }
+  std::ifstream in(workload);
+  if (!in) {
+    std::fprintf(stderr, "cannot open workload '%s'\n", workload.c_str());
+    return 2;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    DieOnError(ReplayLine(schema, service, catalog, line));
+  }
+  if (service.cache() != nullptr) {
+    AggregateCache::Stats stats = service.cache()->stats();
+    std::printf("served at generation %" PRId64
+                ": cache hits %" PRId64 " / misses %" PRId64
+                " (evicted %" PRId64 ", invalidated %" PRId64 ")\n",
+                service.generation(), stats.hits, stats.misses,
+                stats.evicted_entries, stats.invalidated_entries);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -260,6 +481,7 @@ int main(int argc, char** argv) {
   else if (command == "estimate") rc = CmdEstimate(flags);
   else if (command == "allocate") rc = CmdAllocate(flags);
   else if (command == "query") rc = CmdQuery(flags);
+  else if (command == "serve") rc = CmdServe(flags);
   else return Usage();
   DieOnError(obs.Finish());
   return rc;
