@@ -6,7 +6,8 @@
 # generation, the component-parallel Transitive allocator, the
 # observability layer (lock-free metrics, trace collection from worker
 # threads), and the query-serving subsystem (concurrent queries racing a
-# maintenance stream against the generation-versioned aggregate cache).
+# maintenance stream against the generation-versioned aggregate cache and
+# the hierarchical aggregate index tier).
 # Zero reported races is a release gate for the parallel execution and
 # serving subsystems.
 #
@@ -20,10 +21,10 @@ cmake -B "$BUILD" -G Ninja -DIOLAP_SANITIZE=thread
 cmake --build "$BUILD" --target \
   buffer_pool_test disk_manager_test thread_pool_test \
   parallel_transitive_test external_sort_test io_pipeline_equivalence_test \
-  obs_test serve_test serve_concurrent_test
+  obs_test serve_test serve_concurrent_test aggidx_test aggidx_concurrent_test
 
 export TSAN_OPTIONS="halt_on_error=0:exitcode=66:${TSAN_OPTIONS:-}"
 ctest --test-dir "$BUILD" --output-on-failure \
-  -R 'BufferPool|DiskManager|ThreadPool|ParallelScheduler|ParallelTransitive|ExternalSort|IoPipeline|Metrics|Trace|Obs|ScopedObservability|JsonUtil|Serve|SelectiveInvalidation' \
+  -R 'BufferPool|DiskManager|ThreadPool|ParallelScheduler|ParallelTransitive|ExternalSort|IoPipeline|Metrics|Trace|Obs|ScopedObservability|JsonUtil|Serve|SelectiveInvalidation|AggIdx|AggIndex' \
   "$@"
 echo "TSan run clean."

@@ -1,0 +1,650 @@
+#include "aggidx/agg_index.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace iolap {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Canonical (dimension-0-major) three-way comparison of cell keys. Leaf
+/// ids are non-negative, but compare as signed ints — never memcmp, which
+/// would order little-endian byte images, not values.
+int CompareKeys(const int32_t* a, const int32_t* b) {
+  for (int d = 0; d < kMaxDims; ++d) {
+    if (a[d] != b[d]) return a[d] < b[d] ? -1 : 1;
+  }
+  return 0;
+}
+
+int64_t MarginalKey(int dim, NodeId node) {
+  return (static_cast<int64_t>(dim) << 32) | static_cast<uint32_t>(node);
+}
+
+/// Folds a subtree entry's partials (and bbox) into a parent entry.
+void MergeEntryInto(AggIndexEntry* parent, const AggIndexEntry& child) {
+  for (int d = 0; d < kMaxDims; ++d) {
+    parent->bbox.lo[d] = std::min(parent->bbox.lo[d], child.bbox.lo[d]);
+    parent->bbox.hi[d] = std::max(parent->bbox.hi[d], child.bbox.hi[d]);
+  }
+  parent->sum += child.sum;
+  parent->count += child.count;
+  parent->min = std::min(parent->min, child.min);
+  parent->max = std::max(parent->max, child.max);
+}
+
+}  // namespace
+
+AggIndex::AggIndex(StorageEnv* env, const StarSchema* schema,
+                   const TypedFile<EdbRecord>* edb,
+                   const AggIndexOptions& options)
+    : env_(env),
+      schema_(schema),
+      edb_(edb),
+      options_(options),
+      probes_counter_(GlobalCounter("aggidx.probes")),
+      nodes_read_counter_(GlobalCounter("aggidx.nodes_read")),
+      builds_counter_(GlobalCounter("aggidx.builds")),
+      refreshes_counter_(GlobalCounter("aggidx.refreshes")),
+      patched_counter_(GlobalCounter("aggidx.cells_patched")),
+      cells_gauge_(GlobalGauge("aggidx.cells")),
+      pages_gauge_(GlobalGauge("aggidx.pages")) {}
+
+Status AggIndex::Build() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return BuildLocked(/*is_refresh=*/false);
+}
+
+Status AggIndex::EnsureBuiltLocked() {
+  if (built_ && !stale_) return Status::Ok();
+  return BuildLocked(/*is_refresh=*/false);
+}
+
+Status AggIndex::WritePageLocked(int64_t page,
+                                 const AggIndexNodeHeader& header,
+                                 const AggIndexEntry* entries) {
+  IOLAP_ASSIGN_OR_RETURN(int64_t file_pages, env_->disk().SizeInPages(file_));
+  PageGuard guard;
+  if (page < file_pages) {
+    IOLAP_ASSIGN_OR_RETURN(guard, env_->pool().Pin(file_, page));
+  } else {
+    IOLAP_ASSIGN_OR_RETURN(guard, env_->pool().PinNew(file_, page));
+  }
+  std::memset(guard.data(), 0, kPageSize);
+  std::memcpy(guard.data(), &header, sizeof(header));
+  std::memcpy(guard.data() + sizeof(header), entries,
+              header.num_entries * sizeof(AggIndexEntry));
+  guard.MarkDirty();
+  return Status::Ok();
+}
+
+Status AggIndex::BuildLocked(bool is_refresh) {
+  TraceSpan span(is_refresh ? "aggidx.refresh" : "aggidx.build");
+  if (file_ == kInvalidFileId) {
+    IOLAP_ASSIGN_OR_RETURN(file_, env_->disk().CreateFile("aggidx"));
+  }
+
+  // One EDB pass: fold live rows into per-cell partials, canonically
+  // ordered. Memory is O(|occupied cells|) — the same bound the
+  // maintenance directory already carries.
+  std::map<LeafKey, Partials> cells;
+  auto cursor = edb_->Scan(env_->pool());
+  EdbRecord rec;
+  while (!cursor.done()) {
+    IOLAP_RETURN_IF_ERROR(cursor.Next(&rec));
+    if (rec.weight == 0 && rec.fact_id == -1) continue;  // tombstone
+    LeafKey key{};
+    std::memcpy(key.data(), rec.leaf, sizeof(rec.leaf));
+    auto [it, inserted] = cells.try_emplace(key);
+    if (inserted) {
+      it->second.min = kInf;
+      it->second.max = -kInf;
+    }
+    it->second.sum += rec.weight * rec.measure;
+    it->second.count += rec.weight;
+    it->second.min = std::min(it->second.min, rec.measure);
+    it->second.max = std::max(it->second.max, rec.measure);
+  }
+
+  // Bottom-up bulk load, pages 100% packed: the tree is static between
+  // rebuilds (post-build cells live in the overlay), so there is no need
+  // for insertion slack.
+  std::vector<AggIndexEntry> level;
+  level.reserve(cells.size());
+  for (const auto& [key, p] : cells) {
+    AggIndexEntry e;
+    std::memcpy(e.key, key.data(), sizeof(e.key));
+    for (int d = 0; d < kMaxDims; ++d) {
+      e.bbox.lo[d] = key[d];
+      e.bbox.hi[d] = key[d];
+    }
+    e.sum = p.sum;
+    e.count = p.count;
+    e.min = p.min;
+    e.max = p.max;
+    e.child = -1;
+    level.push_back(e);
+  }
+
+  int64_t next_page = 0;
+  int32_t tree_level = 0;
+  root_ = -1;
+  while (!level.empty()) {
+    std::vector<AggIndexEntry> parents;
+    const int64_t n = static_cast<int64_t>(level.size());
+    for (int64_t i = 0; i < n; i += kAggIndexEntriesPerPage) {
+      const int64_t cnt = std::min(n - i, kAggIndexEntriesPerPage);
+      AggIndexNodeHeader header;
+      header.num_entries = static_cast<int32_t>(cnt);
+      header.level = tree_level;
+      const int64_t page = next_page++;
+      IOLAP_RETURN_IF_ERROR(WritePageLocked(page, header, &level[i]));
+      AggIndexEntry parent = level[i];  // key = first cell of the run
+      parent.child = page;
+      for (int64_t j = 1; j < cnt; ++j) MergeEntryInto(&parent, level[i + j]);
+      parents.push_back(parent);
+    }
+    ++tree_level;
+    if (parents.size() == 1) {
+      root_ = parents[0].child;
+      break;
+    }
+    level = std::move(parents);
+  }
+  IOLAP_RETURN_IF_ERROR(BuildMarginalsLocked(cells, &next_page));
+  IOLAP_RETURN_IF_ERROR(env_->pool().FlushFile(file_));
+
+  num_pages_ = next_page;
+  stats_.cells = static_cast<int64_t>(cells.size());
+  stats_.pages = num_pages_;
+  stats_.height = tree_level;
+  if (is_refresh) {
+    ++stats_.refreshes;
+    if (refreshes_counter_ != nullptr) refreshes_counter_->Add(1);
+  } else {
+    ++stats_.builds;
+    if (builds_counter_ != nullptr) builds_counter_->Add(1);
+  }
+  if (cells_gauge_ != nullptr) cells_gauge_->Set(stats_.cells);
+  if (pages_gauge_ != nullptr) pages_gauge_->Set(stats_.pages);
+  span.AddArg("cells", stats_.cells);
+  span.AddArg("pages", stats_.pages);
+
+  overlay_.clear();
+  dirty_minmax_.clear();
+  built_ = true;
+  stale_ = false;
+  return Status::Ok();
+}
+
+Status AggIndex::BuildMarginalsLocked(const std::map<LeafKey, Partials>& cells,
+                                      int64_t* next_page) {
+  // Fold every occupied cell into each hierarchy node covering it, per
+  // dimension: the node partials the serve layer's rollup/dashboard
+  // queries hit directly. Sorted by (dim, node) for stable paging.
+  marginal_dir_.clear();
+  const int k = schema_->num_dims();
+  std::map<int64_t, Partials> marginals;
+  for (const auto& [key, p] : cells) {
+    for (int d = 0; d < k; ++d) {
+      const Hierarchy& h = schema_->dim(d);
+      const NodeId leaf = h.nodes_at_level(1)[key[d]];
+      for (int level = 1; level <= h.num_levels(); ++level) {
+        const NodeId anc = h.AncestorAtLevel(leaf, level);
+        auto [it, inserted] = marginals.try_emplace(MarginalKey(d, anc));
+        if (inserted) {
+          it->second.min = kInf;
+          it->second.max = -kInf;
+        }
+        it->second.sum += p.sum;
+        it->second.count += p.count;
+        it->second.min = std::min(it->second.min, p.min);
+        it->second.max = std::max(it->second.max, p.max);
+      }
+    }
+  }
+
+  std::vector<AggIndexEntry> entries;
+  entries.reserve(marginals.size());
+  for (const auto& [mkey, p] : marginals) {
+    const int d = static_cast<int>(mkey >> 32);
+    const NodeId node = static_cast<NodeId>(mkey & 0xffffffff);
+    AggIndexEntry e;
+    e.key[0] = d;
+    e.key[1] = node;
+    for (int j = 0; j < kMaxDims; ++j) {
+      e.bbox.lo[j] = 0;
+      e.bbox.hi[j] =
+          j < k ? static_cast<int32_t>(
+                      schema_->dim(j).nodes_at_level(1).size()) -
+                      1
+                : 0;
+    }
+    e.bbox.lo[d] = schema_->dim(d).leaf_begin(node);
+    e.bbox.hi[d] = schema_->dim(d).leaf_end(node) - 1;
+    e.sum = p.sum;
+    e.count = p.count;
+    e.min = p.min;
+    e.max = p.max;
+    e.child = -1;
+    entries.push_back(e);
+  }
+  const int64_t n = static_cast<int64_t>(entries.size());
+  for (int64_t i = 0; i < n; i += kAggIndexEntriesPerPage) {
+    const int64_t cnt = std::min(n - i, kAggIndexEntriesPerPage);
+    AggIndexNodeHeader header;
+    header.num_entries = static_cast<int32_t>(cnt);
+    header.level = kAggIndexMarginalLevel;
+    const int64_t page = (*next_page)++;
+    IOLAP_RETURN_IF_ERROR(WritePageLocked(page, header, &entries[i]));
+    for (int64_t j = 0; j < cnt; ++j) {
+      const AggIndexEntry& e = entries[i + j];
+      marginal_dir_[MarginalKey(e.key[0], e.key[1])] = {
+          page, static_cast<int32_t>(j)};
+    }
+  }
+  return Status::Ok();
+}
+
+/// A query rect is marginal-eligible when it constrains exactly one
+/// dimension, to exactly the leaf range of one hierarchy node.
+bool AggIndex::MarginalNodeForRect(const Rect& query, int* dim,
+                                   NodeId* node) const {
+  const int k = schema_->num_dims();
+  int cdim = -1;
+  for (int d = 0; d < k; ++d) {
+    const int32_t leaves =
+        static_cast<int32_t>(schema_->dim(d).nodes_at_level(1).size());
+    if (query.lo[d] == 0 && query.hi[d] == leaves - 1) continue;
+    if (cdim >= 0) return false;  // two or more constrained dims: tree path
+    cdim = d;
+  }
+  if (cdim < 0) return false;  // grand total: root containment is O(1)
+  const Hierarchy& h = schema_->dim(cdim);
+  const auto& leaves = h.nodes_at_level(1);
+  if (query.lo[cdim] < 0 ||
+      query.lo[cdim] >= static_cast<int32_t>(leaves.size())) {
+    return false;
+  }
+  const NodeId leaf = leaves[query.lo[cdim]];
+  for (int level = 1; level <= h.num_levels(); ++level) {
+    const NodeId anc = h.AncestorAtLevel(leaf, level);
+    if (h.leaf_begin(anc) == query.lo[cdim] &&
+        h.leaf_end(anc) == query.hi[cdim] + 1) {
+      *dim = cdim;
+      *node = anc;
+      return true;
+    }
+  }
+  return false;
+}
+
+Status AggIndex::QueryNodeLocked(int64_t page, const Rect& query,
+                                 AggregateResult* acc) {
+  ++stats_.nodes_read;
+  if (nodes_read_counter_ != nullptr) nodes_read_counter_->Add(1);
+  IOLAP_ASSIGN_OR_RETURN(PageGuard guard, env_->pool().Pin(file_, page));
+  AggIndexNodeHeader header;
+  std::memcpy(&header, guard.data(), sizeof(header));
+  const int k = schema_->num_dims();
+  for (int32_t i = 0; i < header.num_entries; ++i) {
+    AggIndexEntry e;
+    std::memcpy(&e, guard.data() + sizeof(header) + i * sizeof(e), sizeof(e));
+    if (!RectsIntersect(e.bbox, query, k)) continue;
+    if (RectContains(query, e.bbox, k)) {
+      acc->sum += e.sum;
+      acc->count += e.count;
+      acc->min = std::min(acc->min, e.min);
+      acc->max = std::max(acc->max, e.max);
+      continue;
+    }
+    // A leaf entry's bbox is a single cell, so intersection implies
+    // containment; only internal entries can straddle the query boundary.
+    if (header.level > 0) {
+      IOLAP_RETURN_IF_ERROR(QueryNodeLocked(e.child, query, acc));
+    }
+  }
+  return Status::Ok();
+}
+
+Status AggIndex::QueryRectLocked(const Rect& query, AggregateResult* acc) {
+  // Fast path: a single-hierarchy-node constraint reads one marginal entry
+  // instead of descending the tree (whose dim-0-major order fragments
+  // badly for constraints on later dimensions).
+  bool served = false;
+  int mdim = -1;
+  NodeId mnode = -1;
+  if (MarginalNodeForRect(query, &mdim, &mnode)) {
+    auto it = marginal_dir_.find(MarginalKey(mdim, mnode));
+    if (it != marginal_dir_.end()) {
+      ++stats_.nodes_read;
+      if (nodes_read_counter_ != nullptr) nodes_read_counter_->Add(1);
+      IOLAP_ASSIGN_OR_RETURN(PageGuard guard,
+                             env_->pool().Pin(file_, it->second.first));
+      AggIndexEntry e;
+      std::memcpy(&e,
+                  guard.data() + sizeof(AggIndexNodeHeader) +
+                      it->second.second * sizeof(e),
+                  sizeof(e));
+      acc->sum += e.sum;
+      acc->count += e.count;
+      acc->min = std::min(acc->min, e.min);
+      acc->max = std::max(acc->max, e.max);
+      ++stats_.marginal_hits;
+      served = true;
+    }
+  }
+  if (!served && root_ >= 0) {
+    IOLAP_RETURN_IF_ERROR(QueryNodeLocked(root_, query, acc));
+  }
+  const int k = schema_->num_dims();
+  for (const auto& [key, p] : overlay_) {
+    bool inside = true;
+    for (int d = 0; d < k; ++d) {
+      if (key[d] < query.lo[d] || key[d] > query.hi[d]) {
+        inside = false;
+        break;
+      }
+    }
+    if (!inside) continue;
+    acc->sum += p.sum;
+    acc->count += p.count;
+    acc->min = std::min(acc->min, p.min);
+    acc->max = std::max(acc->max, p.max);
+  }
+  return Status::Ok();
+}
+
+bool AggIndex::IntersectsDirtyLocked(const Rect& query) const {
+  const int k = schema_->num_dims();
+  for (const Rect& r : dirty_minmax_) {
+    if (RectsIntersect(query, r, k)) return true;
+  }
+  return false;
+}
+
+Result<AggregateResult> AggIndex::Aggregate(const QueryRegion& region,
+                                            AggregateFunc func) {
+  std::lock_guard<std::mutex> lock(mu_);
+  IOLAP_RETURN_IF_ERROR(EnsureBuiltLocked());
+  const Rect query = RegionToRect(*schema_, region);
+  if ((func == AggregateFunc::kMin || func == AggregateFunc::kMax) &&
+      IntersectsDirtyLocked(query)) {
+    IOLAP_RETURN_IF_ERROR(BuildLocked(/*is_refresh=*/true));
+  }
+  AggregateResult acc;
+  IOLAP_RETURN_IF_ERROR(QueryRectLocked(query, &acc));
+  FinalizeAggregate(&acc, func);
+  ++stats_.probes;
+  if (probes_counter_ != nullptr) probes_counter_->Add(1);
+  return acc;
+}
+
+Result<std::vector<AggregateResult>> AggIndex::RollUp(
+    const QueryRegion& region, int dim, int level, AggregateFunc func) {
+  if (dim < 0 || dim >= schema_->num_dims()) {
+    return Status::InvalidArgument("rollup dimension out of range");
+  }
+  const Hierarchy& h = schema_->dim(dim);
+  if (level < 1 || level > h.num_levels()) {
+    return Status::InvalidArgument("rollup level out of range");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  IOLAP_RETURN_IF_ERROR(EnsureBuiltLocked());
+  const Rect base = RegionToRect(*schema_, region);
+  if ((func == AggregateFunc::kMin || func == AggregateFunc::kMax) &&
+      IntersectsDirtyLocked(base)) {
+    IOLAP_RETURN_IF_ERROR(BuildLocked(/*is_refresh=*/true));
+  }
+  const std::vector<NodeId>& nodes = h.nodes_at_level(level);
+  std::vector<AggregateResult> groups(nodes.size());
+  for (size_t g = 0; g < nodes.size(); ++g) {
+    // Each group is the query region narrowed to the group node in `dim` —
+    // still an axis-aligned box, so it is one more index probe.
+    const int32_t glo = std::max(base.lo[dim], h.leaf_begin(nodes[g]));
+    const int32_t ghi = std::min(base.hi[dim], h.leaf_end(nodes[g]) - 1);
+    AggregateResult acc;
+    if (glo <= ghi) {
+      Rect q = base;
+      q.lo[dim] = glo;
+      q.hi[dim] = ghi;
+      IOLAP_RETURN_IF_ERROR(QueryRectLocked(q, &acc));
+    }
+    FinalizeAggregate(&acc, func);
+    groups[g] = acc;
+    ++stats_.probes;
+    if (probes_counter_ != nullptr) probes_counter_->Add(1);
+  }
+  return groups;
+}
+
+void AggIndex::OnAdd(const EdbRecord& rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LeafKey key{};
+  std::memcpy(key.data(), rec.leaf, sizeof(rec.leaf));
+  CellDelta& d = pending_[key];
+  d.dsum += rec.weight * rec.measure;
+  d.dcount += rec.weight;
+  if (!d.has_add) {
+    d.add_min = rec.measure;
+    d.add_max = rec.measure;
+    d.has_add = true;
+  } else {
+    d.add_min = std::min(d.add_min, rec.measure);
+    d.add_max = std::max(d.add_max, rec.measure);
+  }
+}
+
+void AggIndex::OnRemove(const EdbRecord& rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LeafKey key{};
+  std::memcpy(key.data(), rec.leaf, sizeof(rec.leaf));
+  CellDelta& d = pending_[key];
+  d.dsum -= rec.weight * rec.measure;
+  d.dcount -= rec.weight;
+  d.removed = true;
+}
+
+Status AggIndex::PatchCellLocked(const LeafKey& key, const CellDelta& delta,
+                                 bool* found) {
+  *found = false;
+  if (root_ < 0) return Status::Ok();
+
+  // Descend by canonical key: entries are key-sorted and partition the
+  // sorted cell sequence into contiguous runs, so at every node the only
+  // candidate is the last entry whose key <= the target's.
+  struct Loc {
+    int64_t page;
+    int32_t slot;
+  };
+  Loc path[16];
+  int depth = 0;
+  int64_t page = root_;
+  for (;;) {
+    ++stats_.nodes_read;
+    if (nodes_read_counter_ != nullptr) nodes_read_counter_->Add(1);
+    IOLAP_ASSIGN_OR_RETURN(PageGuard guard, env_->pool().Pin(file_, page));
+    AggIndexNodeHeader header;
+    std::memcpy(&header, guard.data(), sizeof(header));
+    int32_t candidate = -1;
+    AggIndexEntry e;
+    for (int32_t i = 0; i < header.num_entries; ++i) {
+      AggIndexEntry cur;
+      std::memcpy(&cur, guard.data() + sizeof(header) + i * sizeof(cur),
+                  sizeof(cur));
+      if (CompareKeys(cur.key, key.data()) > 0) break;
+      candidate = i;
+      e = cur;
+    }
+    if (candidate < 0) return Status::Ok();  // key precedes the whole tree
+    if (depth == 16) {
+      return Status::Internal("aggidx tree deeper than any packed layout");
+    }
+    path[depth++] = Loc{page, candidate};
+    if (header.level == 0) {
+      if (CompareKeys(e.key, key.data()) != 0) return Status::Ok();
+      break;
+    }
+    page = e.child;
+  }
+
+  // Patch the partials along the whole root-to-leaf path. Additive partials
+  // (sum, count) take the delta exactly; min/max only ever widen, and only
+  // from pure additions — a batch that removed rows marks dirty rects
+  // instead (handled by Commit).
+  for (int i = 0; i < depth; ++i) {
+    IOLAP_ASSIGN_OR_RETURN(PageGuard guard,
+                           env_->pool().Pin(file_, path[i].page));
+    AggIndexEntry e;
+    std::byte* slot = guard.data() + sizeof(AggIndexNodeHeader) +
+                      path[i].slot * sizeof(AggIndexEntry);
+    std::memcpy(&e, slot, sizeof(e));
+    e.sum += delta.dsum;
+    e.count += delta.dcount;
+    if (delta.has_add && !delta.removed) {
+      e.min = std::min(e.min, delta.add_min);
+      e.max = std::max(e.max, delta.add_max);
+    }
+    std::memcpy(slot, &e, sizeof(e));
+    guard.MarkDirty();
+  }
+  ++stats_.cells_patched;
+  if (patched_counter_ != nullptr) patched_counter_->Add(1);
+  *found = true;
+  return Status::Ok();
+}
+
+Status AggIndex::PatchMarginalsLocked(const LeafKey& key,
+                                      const CellDelta& delta) {
+  // Mirror of the tree patch for every marginal entry covering the cell:
+  // one per (dimension, ancestor level). Only called for cells the packed
+  // tree knows, so every covering marginal exists by construction.
+  const int k = schema_->num_dims();
+  for (int d = 0; d < k; ++d) {
+    const Hierarchy& h = schema_->dim(d);
+    const auto& leaves = h.nodes_at_level(1);
+    if (key[d] < 0 || key[d] >= static_cast<int32_t>(leaves.size())) {
+      return Status::Internal("aggidx cell key outside the leaf domain");
+    }
+    const NodeId leaf = leaves[key[d]];
+    for (int level = 1; level <= h.num_levels(); ++level) {
+      const NodeId anc = h.AncestorAtLevel(leaf, level);
+      auto it = marginal_dir_.find(MarginalKey(d, anc));
+      if (it == marginal_dir_.end()) {
+        return Status::Internal("aggidx marginal missing for a tree cell");
+      }
+      IOLAP_ASSIGN_OR_RETURN(PageGuard guard,
+                             env_->pool().Pin(file_, it->second.first));
+      std::byte* slot = guard.data() + sizeof(AggIndexNodeHeader) +
+                        it->second.second * sizeof(AggIndexEntry);
+      AggIndexEntry e;
+      std::memcpy(&e, slot, sizeof(e));
+      e.sum += delta.dsum;
+      e.count += delta.dcount;
+      if (delta.has_add && !delta.removed) {
+        e.min = std::min(e.min, delta.add_min);
+        e.max = std::max(e.max, delta.add_max);
+      }
+      std::memcpy(slot, &e, sizeof(e));
+      guard.MarkDirty();
+    }
+  }
+  return Status::Ok();
+}
+
+Status AggIndex::Commit(const Rect* touched, size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!built_ || stale_) {
+    // Nothing to patch — the next query rebuilds from the already-mutated
+    // EDB, which subsumes these deltas.
+    pending_.clear();
+    return Status::Ok();
+  }
+  bool any_removed = false;
+  for (const auto& [key, delta] : pending_) {
+    any_removed |= delta.removed;
+    bool found = false;
+    Status s = PatchCellLocked(key, delta, &found);
+    if (s.ok() && found) s = PatchMarginalsLocked(key, delta);
+    if (!s.ok()) {
+      InvalidateLocked();
+      return s;
+    }
+    if (found) continue;
+    // Cell not in the packed tree: merge into the overlay. (A removal for
+    // an unknown cell can only be the counterpart of earlier overlay
+    // additions; the residue stays in the overlay and the dirty rects
+    // below cover its min/max.)
+    auto [it, inserted] = overlay_.try_emplace(key);
+    Partials& p = it->second;
+    if (inserted) {
+      p.min = kInf;
+      p.max = -kInf;
+    }
+    p.sum += delta.dsum;
+    p.count += delta.dcount;
+    if (delta.has_add && !delta.removed) {
+      p.min = std::min(p.min, delta.add_min);
+      p.max = std::max(p.max, delta.add_max);
+    } else if (delta.removed) {
+      // The overlay cell's extremes can no longer be trusted; widen them so
+      // only the dirty-rect rebuild path answers min/max here.
+      p.min = kInf;
+      p.max = -kInf;
+      any_removed = true;
+    }
+  }
+  pending_.clear();
+
+  if (any_removed) {
+    dirty_minmax_.insert(dirty_minmax_.end(), touched, touched + n);
+    if (static_cast<int64_t>(dirty_minmax_.size()) >
+        options_.max_dirty_boxes) {
+      // Collapse to one covering box: coarser (more min/max queries will
+      // trigger the rebuild) but still conservative, and bounds the
+      // per-query dirty check.
+      Rect all = dirty_minmax_[0];
+      for (const Rect& r : dirty_minmax_) {
+        for (int d = 0; d < kMaxDims; ++d) {
+          all.lo[d] = std::min(all.lo[d], r.lo[d]);
+          all.hi[d] = std::max(all.hi[d], r.hi[d]);
+        }
+      }
+      dirty_minmax_.assign(1, all);
+    }
+  }
+  if (static_cast<int64_t>(overlay_.size()) > options_.max_overlay_cells) {
+    stale_ = true;  // overlay too big to stay an overlay; rebuild lazily
+  }
+  return Status::Ok();
+}
+
+void AggIndex::InvalidateLocked() {
+  pending_.clear();
+  overlay_.clear();
+  dirty_minmax_.clear();
+  marginal_dir_.clear();
+  stale_ = true;
+}
+
+void AggIndex::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  InvalidateLocked();
+}
+
+AggIndex::Stats AggIndex::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.overlay_cells = static_cast<int64_t>(overlay_.size());
+  s.dirty_boxes = static_cast<int64_t>(dirty_minmax_.size());
+  return s;
+}
+
+}  // namespace iolap

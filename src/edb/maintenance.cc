@@ -309,6 +309,21 @@ Status MaintenanceManager::ReallocateComponent(
     }
   }
 
+  // ---- Report the row turnover before the splice overwrites the old rows
+  // (the scan pins the same pages the Puts below are about to pin).
+  if (listener_ != nullptr) {
+    for (auto [begin, end] : c.edb_ranges) {
+      auto cursor = build_result_.edb.Scan(pool, begin, end);
+      EdbRecord old;
+      while (!cursor.done()) {
+        IOLAP_RETURN_IF_ERROR(cursor.Next(&old));
+        if (old.weight == 0 && old.fact_id == -1) continue;  // tombstone
+        listener_->OnRemove(old);
+      }
+    }
+    for (const EdbRecord& row : rows) listener_->OnAdd(row);
+  }
+
   // ---- Splice the rows into the component's EDB ranges.
   size_t next_row = 0;
   std::vector<std::pair<int64_t, int64_t>> new_ranges;
@@ -444,8 +459,10 @@ Status MaintenanceManager::ApplyUpdates(const std::vector<FactUpdate>& updates,
       IOLAP_RETURN_IF_ERROR(cursor.Read(&rec));
       auto it = by_id.find(rec.fact_id);
       if (it != by_id.end() && it->second->before.IsPrecise(k)) {
+        if (listener_ != nullptr) listener_->OnRemove(rec);
         rec.measure = it->second->new_measure;
         IOLAP_RETURN_IF_ERROR(cursor.Write(rec));
+        if (listener_ != nullptr) listener_->OnAdd(rec);
         ++stats->edb_rows_rewritten;
       }
       cursor.Advance();
@@ -455,9 +472,11 @@ Status MaintenanceManager::ApplyUpdates(const std::vector<FactUpdate>& updates,
       if (it != extra_precise_rows_.end() && u.before.IsPrecise(k)) {
         IOLAP_ASSIGN_OR_RETURN(EdbRecord rec,
                                build_result_.edb.Get(pool, it->second));
+        if (listener_ != nullptr) listener_->OnRemove(rec);
         rec.measure = u.new_measure;
         IOLAP_RETURN_IF_ERROR(
             build_result_.edb.Put(pool, it->second, rec));
+        if (listener_ != nullptr) listener_->OnAdd(rec);
       }
     }
   }
@@ -605,6 +624,7 @@ Status MaintenanceManager::InsertFacts(const std::vector<FactRecord>& inserts,
     std::memcpy(row.leaf, key.data(), sizeof(row.leaf));
     extra_precise_rows_[f.fact_id] = build_result_.edb.size();
     IOLAP_RETURN_IF_ERROR(edb_appender.Append(row));
+    if (listener_ != nullptr) listener_->OnAdd(row);
     ++stats->edb_rows_appended;
 
     stats->touched_boxes.push_back(RegionRect(*schema_, f));
@@ -764,6 +784,11 @@ Status MaintenanceManager::DeleteFacts(const std::vector<FactRecord>& deletes,
       // Remove the fact's own EDB row.
       auto it = extra_precise_rows_.find(f.fact_id);
       if (it != extra_precise_rows_.end()) {
+        if (listener_ != nullptr) {
+          IOLAP_ASSIGN_OR_RETURN(EdbRecord old,
+                                 build_result_.edb.Get(pool, it->second));
+          listener_->OnRemove(old);
+        }
         IOLAP_RETURN_IF_ERROR(
             build_result_.edb.Put(pool, it->second, Tombstone()));
         extra_precise_rows_.erase(it);
@@ -786,7 +811,9 @@ Status MaintenanceManager::DeleteFacts(const std::vector<FactRecord>& deletes,
     EdbRecord rec;
     while (!cursor.done()) {
       IOLAP_RETURN_IF_ERROR(cursor.Read(&rec));
-      if (deleted_precise.count(rec.fact_id) != 0) {
+      if (deleted_precise.count(rec.fact_id) != 0 &&
+          !(rec.weight == 0 && rec.fact_id == -1)) {
+        if (listener_ != nullptr) listener_->OnRemove(rec);
         IOLAP_RETURN_IF_ERROR(cursor.Write(Tombstone()));
         ++stats->edb_rows_tombstoned;
       }

@@ -26,6 +26,21 @@ struct FactUpdate {
   double new_measure = 0;
 };
 
+/// Observer of row-level Extended Database changes. The maintenance layer
+/// reports every *live* row it adds (appended or rewritten in place) and
+/// every previously live row it removes (tombstoned or overwritten), so a
+/// derived structure — e.g. the serve layer's aggregate index — can stay
+/// consistent without rescanning. Tombstones themselves are never reported.
+/// Callbacks run inside the mutation batch, before it is known to succeed;
+/// implementations should buffer and only apply on an external commit
+/// signal. CompactEdb is a logical no-op and fires nothing.
+class EdbChangeListener {
+ public:
+  virtual ~EdbChangeListener() = default;
+  virtual void OnAdd(const EdbRecord& rec) = 0;
+  virtual void OnRemove(const EdbRecord& rec) = 0;
+};
+
 struct MaintenanceStats {
   /// Bounding boxes (inclusive leaf coordinates) of everything this batch
   /// touched: each mutated fact's own region rect plus the pre-mutation
@@ -117,6 +132,14 @@ class MaintenanceManager {
   PagedRTree& rtree() { return *rtree_; }
   StorageEnv& env() { return *env_; }
 
+  /// Installs (or clears, with nullptr) the row-change listener. With no
+  /// listener the maintenance I/O pattern is exactly as before; with one,
+  /// re-allocation additionally reads each spliced component's old rows
+  /// (pages the splice was about to pin anyway).
+  void set_change_listener(EdbChangeListener* listener) {
+    listener_ = listener;
+  }
+
  private:
   MaintenanceManager(StorageEnv* env, const StarSchema* schema)
       : env_(env), schema_(schema) {}
@@ -148,6 +171,7 @@ class MaintenanceManager {
   AllocationResult build_result_;
   std::vector<MaintComponent> directory_;
   std::unique_ptr<PagedRTree> rtree_;
+  EdbChangeListener* listener_ = nullptr;
 
   int64_t singleton_begin_ = 0;      // first singleton cell in the file
   std::vector<CellRecord> loose_cells_;  // cells added after the build

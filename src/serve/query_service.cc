@@ -27,6 +27,8 @@ QueryService::QueryService(MaintenanceManager* manager,
       queries_counter_(GlobalCounter("serve.queries")),
       mutations_counter_(GlobalCounter("serve.mutations")),
       partitions_counter_(GlobalCounter("serve.scan_partitions")),
+      index_answers_counter_(GlobalCounter("serve.index_answers")),
+      index_fallbacks_counter_(GlobalCounter("serve.index_fallbacks")),
       generation_gauge_(GlobalGauge("serve.generation")),
       query_us_histogram_(GlobalHistogramOrNull("serve.query_us")) {
   if (options_.num_threads > 1) {
@@ -34,6 +36,10 @@ QueryService::QueryService(MaintenanceManager* manager,
   }
   if (options_.cache_slots > 0) {
     cache_ = std::make_unique<AggregateCache>(options_.cache_slots);
+  }
+  if (options_.agg_index) {
+    agg_index_ = std::make_unique<AggIndex>(env_, schema_, edb_);
+    manager_->set_change_listener(agg_index_.get());
   }
 }
 
@@ -48,6 +54,8 @@ QueryService::QueryService(StorageEnv* env, const StarSchema* schema,
       queries_counter_(GlobalCounter("serve.queries")),
       mutations_counter_(GlobalCounter("serve.mutations")),
       partitions_counter_(GlobalCounter("serve.scan_partitions")),
+      index_answers_counter_(GlobalCounter("serve.index_answers")),
+      index_fallbacks_counter_(GlobalCounter("serve.index_fallbacks")),
       generation_gauge_(GlobalGauge("serve.generation")),
       query_us_histogram_(GlobalHistogramOrNull("serve.query_us")) {
   if (options_.num_threads > 1) {
@@ -55,6 +63,17 @@ QueryService::QueryService(StorageEnv* env, const StarSchema* schema,
   }
   if (options_.cache_slots > 0) {
     cache_ = std::make_unique<AggregateCache>(options_.cache_slots);
+  }
+  if (options_.agg_index) {
+    agg_index_ = std::make_unique<AggIndex>(env_, schema_, edb_);
+  }
+}
+
+QueryService::~QueryService() {
+  // The manager may outlive this service; never leave it pointing at the
+  // index we own.
+  if (manager_ != nullptr && agg_index_ != nullptr) {
+    manager_->set_change_listener(nullptr);
   }
 }
 
@@ -217,7 +236,24 @@ Result<AggregateResult> QueryService::Aggregate(const QueryRegion& region,
     }
   }
 
-  IOLAP_ASSIGN_OR_RETURN(AggregateResult out, ScanAggregate(region, func));
+  AggregateResult out;
+  bool answered = false;
+  if (agg_index_ != nullptr) {
+    // The index tier: answer the miss from covering node partials. Any
+    // index error falls through to the scan — the scan is always correct.
+    Result<AggregateResult> indexed = agg_index_->Aggregate(region, func);
+    if (indexed.ok()) {
+      out = *indexed;
+      answered = true;
+      span.AddArg("index_answer", 1);
+      if (index_answers_counter_ != nullptr) index_answers_counter_->Add(1);
+    } else if (index_fallbacks_counter_ != nullptr) {
+      index_fallbacks_counter_->Add(1);
+    }
+  }
+  if (!answered) {
+    IOLAP_ASSIGN_OR_RETURN(out, ScanAggregate(region, func));
+  }
   if (cache_ != nullptr) {
     cache_->Insert(key, RegionToRect(*schema_, region), {out}, gen);
   }
@@ -254,8 +290,23 @@ Result<std::vector<AggregateResult>> QueryService::RollUp(
     }
   }
 
-  IOLAP_ASSIGN_OR_RETURN(std::vector<AggregateResult> groups,
-                         ScanRollUp(region, dim, level, func));
+  std::vector<AggregateResult> groups;
+  bool answered = false;
+  if (agg_index_ != nullptr) {
+    Result<std::vector<AggregateResult>> indexed =
+        agg_index_->RollUp(region, dim, level, func);
+    if (indexed.ok()) {
+      groups = std::move(*indexed);
+      answered = true;
+      span.AddArg("index_answer", 1);
+      if (index_answers_counter_ != nullptr) index_answers_counter_->Add(1);
+    } else if (index_fallbacks_counter_ != nullptr) {
+      index_fallbacks_counter_->Add(1);
+    }
+  }
+  if (!answered) {
+    IOLAP_ASSIGN_OR_RETURN(groups, ScanRollUp(region, dim, level, func));
+  }
   if (cache_ != nullptr) {
     cache_->Insert(key, RegionToRect(*schema_, region), groups, gen);
   }
@@ -331,6 +382,18 @@ Status QueryService::MutateLocked(
       span.AddArg("invalidated_entries", dropped);
     }
   }
+  if (agg_index_ != nullptr) {
+    if (status.ok()) {
+      // Fold the batch's buffered row deltas into the index; its dirty
+      // min/max marks come from the same touched boxes the cache used.
+      Status committed =
+          agg_index_->Commit(s->touched_boxes.data() + box_start,
+                             s->touched_boxes.size() - box_start);
+      if (!committed.ok()) agg_index_->Invalidate();
+    } else {
+      agg_index_->Invalidate();
+    }
+  }
   return status;
 }
 
@@ -367,12 +430,14 @@ Result<int64_t> QueryService::Compact() {
     // The rewrite may have partially applied; drop everything and force a
     // new generation so nothing stale survives.
     if (cache_ != nullptr) cache_->Clear();
+    if (agg_index_ != nullptr) agg_index_->Invalidate();
     const int64_t gen =
         generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
     if (generation_gauge_ != nullptr) generation_gauge_->Set(gen);
   }
   // On success the logical EDB content is unchanged (only tombstones were
-  // squeezed out), so cached results stay valid and the generation holds.
+  // squeezed out), so cached results (and the index, which is keyed by
+  // cell, not row position) stay valid and the generation holds.
   return removed;
 }
 

@@ -7,6 +7,7 @@
 #include <shared_mutex>
 #include <vector>
 
+#include "aggidx/agg_index.h"
 #include "common/result.h"
 #include "edb/maintenance.h"
 #include "edb/query.h"
@@ -27,9 +28,20 @@ struct ServeOptions {
   /// Aggregate-cache capacity in result slots (a point aggregate costs 1
   /// slot, a rollup one slot per group). 0 disables caching entirely.
   int64_t cache_slots = 4096;
+  /// Maintain a disk-resident hierarchical aggregate index (src/aggidx) and
+  /// answer cache misses from its node partials instead of scanning the
+  /// EDB; in maintained mode the index is kept incrementally consistent
+  /// from the same touched_boxes that drive cache invalidation.
+  bool agg_index = false;
 };
 
 /// Concurrent query-serving front end over the Extended Database.
+///
+/// Answer tiers (each one falls through to the next): the AggregateCache
+/// (exact region+function hit, no I/O), then — with `agg_index` on — the
+/// hierarchical aggregate index (a few node pages instead of an EDB scan),
+/// then the partitioned EDB scan. The scan stays the oracle: Uncached*
+/// never consults the cache or the index.
 ///
 /// Concurrency model (the generation/snapshot contract):
 ///  * Every query runs under a shared lock and *pins the generation it
@@ -61,6 +73,7 @@ class QueryService {
 
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
+  ~QueryService();
 
   /// Allocation-weighted aggregate over `region`, served from the cache
   /// when possible. Outputs the pinned generation and whether the answer
@@ -115,6 +128,8 @@ class QueryService {
   }
   /// Null when options.cache_slots == 0.
   AggregateCache* cache() { return cache_.get(); }
+  /// Null when options.agg_index is false.
+  AggIndex* agg_index() { return agg_index_.get(); }
   const StarSchema& schema() const { return *schema_; }
 
  private:
@@ -136,6 +151,7 @@ class QueryService {
   ServeOptions options_;
   std::unique_ptr<ThreadPool> pool_;     // null when num_threads <= 1
   std::unique_ptr<AggregateCache> cache_;  // null when cache_slots <= 0
+  std::unique_ptr<AggIndex> agg_index_;    // null when !options.agg_index
 
   /// Readers shared, maintenance exclusive; acquired before the cache
   /// mutex, never after it.
@@ -146,6 +162,8 @@ class QueryService {
   class Counter* queries_counter_;
   class Counter* mutations_counter_;
   class Counter* partitions_counter_;
+  class Counter* index_answers_counter_;
+  class Counter* index_fallbacks_counter_;
   class Gauge* generation_gauge_;
   class Histogram* query_us_histogram_;
 };

@@ -101,6 +101,8 @@ Result<int32_t> BufferPool::FindVictim() {
   if (evictions_counter_ != nullptr) evictions_counter_->Add(1);
   if (frame.prefetched) {
     ++stats_.prefetch_wasted;
+    ++window_prefetch_wasted_;
+    --prefetched_unconsumed_;
     frame.prefetched = false;
   }
   frame.file = kInvalidFileId;
@@ -131,6 +133,8 @@ int32_t BufferPool::FindPrefetchVictim() {
   ++stats_.evictions;
   if (evictions_counter_ != nullptr) evictions_counter_->Add(1);
   ++stats_.prefetch_wasted;
+  ++window_prefetch_wasted_;
+  --prefetched_unconsumed_;
   frame.prefetched = false;
   frame.file = kInvalidFileId;
   frame.page = -1;
@@ -185,11 +189,14 @@ Status BufferPool::FlushFramesBatched(std::vector<int32_t>& frame_indices) {
 Result<PageGuard> BufferPool::Pin(FileId file, PageId page) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = page_table_.find(Key{file, page});
-  if (it == page_table_.end() && read_ahead_pages() > 0) {
+  if (it == page_table_.end() && read_ahead_pages() > 0 &&
+      queue_depth_.load(std::memory_order_relaxed) > 0) {
     // The demand stream caught up with a hint the prefetcher hasn't run
     // yet. Claim the request and service it inline — the block transfer
     // still replaces the page-at-a-time reads even when no spare core ever
-    // got to it.
+    // got to it. The lock-free depth check keeps misses off queue_mu_ when
+    // the queue is empty (the steady state once gating engages); a stale
+    // zero only defers the claim to the worker.
     if (TryServiceQueuedPrefetch(file, page)) {
       it = page_table_.find(Key{file, page});
     }
@@ -201,6 +208,8 @@ Result<PageGuard> BufferPool::Pin(FileId file, PageId page) {
       // serial pipeline would have issued here (see IoStats).
       frame.prefetched = false;
       ++stats_.prefetch_hits;
+      ++window_prefetch_hits_;
+      --prefetched_unconsumed_;
       disk_->ChargeDemandRead();
     } else {
       ++stats_.hits;
@@ -286,15 +295,68 @@ void BufferPool::ConfigureReadAhead(int pages) {
 
 void BufferPool::Prefetch(FileId file, PageId first, int64_t count) {
   if (count <= 0 || read_ahead_pages() == 0) return;
+  // Fast path: while the effectiveness gate is closed, drop the hint
+  // without touching mu_ — a workload whose hints are useless issues
+  // thousands of them, and each mutex acquisition contends with demand
+  // pins. Every 64th drop falls through to the locked path so the decay
+  // bookkeeping (and the gate re-open probe) still advances.
+  if (gate_closed_.load(std::memory_order_relaxed)) {
+    const int64_t n =
+        gate_fast_drops_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n % 64 != 0) return;
+  }
   uint64_t epoch;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Fold drops batched by the lock-free fast path into the counters the
+    // decay logic below reads.
+    const int64_t fast = gate_fast_drops_.exchange(0, std::memory_order_relaxed);
+    if (fast > 0) {
+      stats_.prefetch_gated += fast;
+      gated_since_decay_ += fast;
+    }
     // Hopeless hints are dropped at the door: with no free frame and no
     // abandoned prefetch to recycle, enqueueing would only buy a worker
     // wake-up that discovers the same thing (read-ahead never displaces
     // demand pages, see FindPrefetchVictim).
-    if (free_frames_.empty() &&
-        (lru_.empty() || !frames_[lru_.front()].prefetched)) {
+    bool gated = free_frames_.empty() &&
+                 (lru_.empty() || !frames_[lru_.front()].prefetched);
+    // Headroom gate: with less than a small threshold of frames read-ahead
+    // may legally fill, servicing the hint mostly blocks demand pins on mu_
+    // for the duration of a disk read — the regression small pools see.
+    if (!gated) {
+      const int64_t headroom =
+          static_cast<int64_t>(free_frames_.size()) + prefetched_unconsumed_;
+      gated = headroom < kPrefetchMinHeadroom;
+    }
+    // Effectiveness gate: once enough prefetches have been decided
+    // (consumed or evicted unused), stop hinting while the rolling hit
+    // rate sits under ~25% — below that, the wasted reads' disk traffic
+    // and mutex holds cost more than the hidden latency buys (measured
+    // break-even on the small-pool allocation benchmark). Only this gate
+    // is published to the lock-free fast path: the frame-availability
+    // gates above are transient and must be re-checked per hint.
+    {
+      const int64_t decided = window_prefetch_hits_ + window_prefetch_wasted_;
+      const bool ineffective = decided >= kPrefetchGateMinSample &&
+                               window_prefetch_hits_ * 4 < decided;
+      gate_closed_.store(ineffective, std::memory_order_relaxed);
+      gated = gated || ineffective;
+    }
+    if (gated) {
+      ++stats_.prefetch_gated;
+      // Decay the window while gated so a changed access pattern can
+      // re-open the gate with a fresh probe.
+      if (++gated_since_decay_ >= kPrefetchGateDecay) {
+        window_prefetch_hits_ /= 2;
+        window_prefetch_wasted_ /= 2;
+        gated_since_decay_ = 0;
+        const int64_t decided =
+            window_prefetch_hits_ + window_prefetch_wasted_;
+        gate_closed_.store(decided >= kPrefetchGateMinSample &&
+                               window_prefetch_hits_ * 4 < decided,
+                           std::memory_order_relaxed);
+      }
       return;
     }
     epoch = file_epochs_[file];
@@ -303,6 +365,8 @@ void BufferPool::Prefetch(FileId file, PageId first, int64_t count) {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (stop_ || !prefetcher_.joinable()) return;
     queue_.push_back(PrefetchRequest{file, first, count, epoch});
+    queue_depth_.store(static_cast<int64_t>(queue_.size()),
+                       std::memory_order_relaxed);
   }
   queue_cv_.notify_one();
 }
@@ -315,6 +379,8 @@ void BufferPool::PrefetcherLoop() {
     if (stop_) break;
     PrefetchRequest req = queue_.front();
     queue_.pop_front();
+    queue_depth_.store(static_cast<int64_t>(queue_.size()),
+                       std::memory_order_relaxed);
     ++in_service_;
     lock.unlock();
     ServicePrefetch(req, &staging);
@@ -340,6 +406,8 @@ bool BufferPool::TryServiceQueuedPrefetch(FileId file, PageId page) {
           page < it->first + it->count) {
         req = *it;
         queue_.erase(it);
+        queue_depth_.store(static_cast<int64_t>(queue_.size()),
+                           std::memory_order_relaxed);
         found = true;
         break;
       }
@@ -394,6 +462,7 @@ void BufferPool::ServicePrefetchLocked(const PrefetchRequest& req,
       frame.pin_count = 0;
       frame.dirty = false;
       frame.prefetched = true;
+      ++prefetched_unconsumed_;
       lru_.push_back(victims[i]);
       frame.lru_pos = std::prev(lru_.end());
       frame.in_lru = true;
@@ -439,6 +508,8 @@ Status BufferPool::EvictFile(FileId file) {
                                   return r.file == file;
                                 }),
                  queue_.end());
+    queue_depth_.store(static_cast<int64_t>(queue_.size()),
+                       std::memory_order_relaxed);
   }
   std::lock_guard<std::mutex> lock(mu_);
   ++file_epochs_[file];
@@ -466,6 +537,8 @@ void BufferPool::ReleaseFrame(size_t frame_index) {
   }
   if (frame.prefetched) {
     ++stats_.prefetch_wasted;
+    ++window_prefetch_wasted_;
+    --prefetched_unconsumed_;
     frame.prefetched = false;
   }
   frame.file = kInvalidFileId;

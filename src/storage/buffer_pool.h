@@ -72,6 +72,17 @@ class PageGuard {
 /// demand I/O the serial pipeline would issue (what the cost model pins).
 /// The prefetcher never evicts a demand-loaded frame: it only fills free
 /// frames or replaces still-unconsumed prefetched frames.
+///
+/// Hints are additionally *gated* so read-ahead backs off when it cannot
+/// help: a hint is dropped when the pool's prefetch headroom (free frames
+/// plus still-unconsumed prefetched frames) falls below a small threshold,
+/// or when the rolling hit rate of recently decided prefetches (consumed
+/// vs. evicted unused) drops under ~25% — the measured break-even for a
+/// wasted read-ahead's disk traffic and mutex hold. Dropped hints decay
+/// the rolling
+/// window, so a changed access pattern re-opens the gate with a fresh
+/// probe. Gating only suppresses *physical* read-ahead traffic; demand
+/// reads (`IoStats::page_reads`) are unaffected.
 class BufferPool {
  public:
   BufferPool(DiskManager* disk, size_t capacity_pages);
@@ -128,19 +139,36 @@ class BufferPool {
 
   size_t capacity_pages() const { return capacity_; }
   size_t pinned_pages() const;
-  /// Race-free snapshot of the pool counters.
+  /// Race-free snapshot of the pool counters. Drops batched by the
+  /// lock-free gate fast path but not yet folded under mu_ are added so
+  /// `prefetch_gated` never under-reports.
   PoolStats stats() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
+    PoolStats snapshot = stats_;
+    snapshot.prefetch_gated += gate_fast_drops_.load(std::memory_order_relaxed);
+    return snapshot;
   }
   void ResetStats() {
     std::lock_guard<std::mutex> lock(mu_);
     stats_ = PoolStats{};
+    gate_fast_drops_.store(0, std::memory_order_relaxed);
   }
   DiskManager* disk() const { return disk_; }
 
  private:
   friend class PageGuard;
+
+  /// Minimum prefetch headroom (free + unconsumed prefetched frames) for a
+  /// hint to be worth enqueueing.
+  static constexpr int64_t kPrefetchMinHeadroom = 4;
+  /// Decided prefetches (consumed or evicted unused) required before the
+  /// hit-rate gate may engage.
+  static constexpr int64_t kPrefetchGateMinSample = 32;
+  /// Dropped hints between decays of the rolling hit-rate window. Each
+  /// decay halves the window; once it shrinks under the sample floor the
+  /// gate re-opens for a short probe, so this sets the probe duty cycle —
+  /// large enough that a persistently useless pattern pays almost nothing.
+  static constexpr int64_t kPrefetchGateDecay = 1024;
 
   struct Frame {
     FileId file = kInvalidFileId;
@@ -226,6 +254,18 @@ class BufferPool {
   std::unordered_map<Key, int32_t, KeyHash> page_table_;
   std::unordered_map<FileId, uint64_t> file_epochs_;  // bumped by EvictFile
   PoolStats stats_;
+  // Prefetch-gating state (all under mu_): loaded-but-unconsumed read-ahead
+  // frames, and the rolling window of decided prefetches.
+  int64_t prefetched_unconsumed_ = 0;
+  int64_t window_prefetch_hits_ = 0;
+  int64_t window_prefetch_wasted_ = 0;
+  int64_t gated_since_decay_ = 0;
+  /// Published (under mu_) whenever the hit-rate gate's verdict changes, so
+  /// Prefetch() can drop hints without touching mu_ while the gate stays
+  /// closed — thousands of doomed hints otherwise contend with demand pins
+  /// on the hot path. Decay bookkeeping batches via gate_fast_drops_.
+  std::atomic<bool> gate_closed_{false};
+  std::atomic<int64_t> gate_fast_drops_{0};
   std::atomic<int> read_ahead_pages_{0};
   std::atomic<bool> batched_writeback_{true};
 
@@ -238,6 +278,11 @@ class BufferPool {
   std::condition_variable queue_cv_;
   std::condition_variable drain_cv_;
   std::deque<PrefetchRequest> queue_;
+  /// Mirrors queue_.size() (updated under queue_mu_) so the Pin miss path
+  /// can skip taking queue_mu_ when no hint could possibly cover the page —
+  /// the common case once gating has shut read-ahead down. A stale zero
+  /// only delays a claim the worker will service anyway.
+  std::atomic<int64_t> queue_depth_{0};
   int64_t in_service_ = 0;  // requests popped but not yet finished
   bool stop_ = false;
   std::thread prefetcher_;

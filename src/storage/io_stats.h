@@ -59,6 +59,7 @@ struct PoolStats {
   int64_t writeback_batches = 0;  // vectored writes that carried them
   int64_t prefetch_hits = 0;      // pins satisfied by a read-ahead frame
   int64_t prefetch_wasted = 0;    // read-ahead frames evicted unused
+  int64_t prefetch_gated = 0;     // hints dropped by the pool's gates
 
   PoolStats operator-(const PoolStats& other) const {
     return PoolStats{hits - other.hits,
@@ -67,7 +68,8 @@ struct PoolStats {
                      dirty_writebacks - other.dirty_writebacks,
                      writeback_batches - other.writeback_batches,
                      prefetch_hits - other.prefetch_hits,
-                     prefetch_wasted - other.prefetch_wasted};
+                     prefetch_wasted - other.prefetch_wasted,
+                     prefetch_gated - other.prefetch_gated};
   }
 };
 

@@ -206,15 +206,21 @@ TEST_F(BufferPoolTest, PrefetchChargesDemandReadOnConsumption) {
 }
 
 TEST_F(BufferPoolTest, PrefetchedPagesAreEvictableByDemand) {
-  FileId f = NewFileWithPages(4);
-  BufferPool pool(&disk_, 2);
+  FileId f = NewFileWithPages(8);
+  // Four frames: the smallest pool whose prefetch headroom (free +
+  // unconsumed prefetched frames) clears the hint gate's minimum.
+  BufferPool pool(&disk_, 4);
   pool.ConfigureReadAhead(2);
   pool.Prefetch(f, 0, 2);
   pool.DrainPrefetches();
-  // Prefetched frames are unpinned: two demand pins of other pages must
-  // succeed by evicting them, and the unconsumed frames count as wasted.
+  EXPECT_EQ(disk_.stats().prefetch_reads, 2);
+  // Prefetched frames are unpinned: after demand pins exhaust the free
+  // frames, further pins must succeed by evicting them, and the unconsumed
+  // frames count as wasted.
   { IOLAP_ASSERT_OK_AND_ASSIGN(PageGuard g, pool.Pin(f, 2)); (void)g; }
   { IOLAP_ASSERT_OK_AND_ASSIGN(PageGuard g, pool.Pin(f, 3)); (void)g; }
+  { IOLAP_ASSERT_OK_AND_ASSIGN(PageGuard g, pool.Pin(f, 4)); (void)g; }
+  { IOLAP_ASSERT_OK_AND_ASSIGN(PageGuard g, pool.Pin(f, 5)); (void)g; }
   EXPECT_EQ(pool.stats().prefetch_wasted, 2);
   EXPECT_EQ(pool.stats().prefetch_hits, 0);
 }

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 
 #include "common/result.h"
@@ -13,6 +14,7 @@
 #include "datagen/table2.h"
 #include "edb/maintenance.h"
 #include "edb/query.h"
+#include "rtree/rtree.h"
 #include "tests/test_util.h"
 
 namespace iolap {
@@ -379,6 +381,112 @@ TEST_F(MutationsTest, RandomizedMutationStream) {
     }
   }
   ExpectEquivalentToRebuild(schema, *manager, facts, options_);
+}
+
+/// touched_boxes is the contract the serve layer (cache invalidation, agg
+/// index patching) stands on: sound — every EDB row whose value changed
+/// lies inside some reported box — and tight — a mutation confined to one
+/// half of the domain reports no box reaching into the untouched half.
+TEST_F(MutationsTest, TouchedBoxesAreSoundAndTight) {
+  std::vector<Hierarchy> dims;
+  IOLAP_ASSERT_OK_AND_ASSIGN(Hierarchy d0,
+                             HierarchyBuilder::Uniform("D0", {2, 4}));
+  IOLAP_ASSERT_OK_AND_ASSIGN(Hierarchy d1,
+                             HierarchyBuilder::Uniform("D1", {2, 2}));
+  dims.push_back(d0);
+  dims.push_back(d1);
+  IOLAP_ASSERT_OK_AND_ASSIGN(StarSchema schema,
+                             StarSchema::Create(std::move(dims)));
+  const int k = schema.num_dims();
+  const NodeId half_a = schema.dim(0).nodes_at_level(2)[0];  // leaves 0..3
+  const NodeId half_b = schema.dim(0).nodes_at_level(2)[1];  // leaves 4..7
+  const auto& d0_leaves = schema.dim(0).nodes_at_level(1);
+  const auto& d1_leaves = schema.dim(1).nodes_at_level(1);
+  auto leaf_fact = [&](FactId id, double measure, NodeId n0, NodeId n1) {
+    FactRecord f;
+    f.fact_id = id;
+    f.measure = measure;
+    f.node[0] = n0;
+    f.node[1] = n1;
+    f.level[0] = static_cast<uint8_t>(schema.dim(0).level(n0));
+    f.level[1] = static_cast<uint8_t>(schema.dim(1).level(n1));
+    return f;
+  };
+  std::vector<FactRecord> facts = {
+      leaf_fact(1, 10, d0_leaves[0], d1_leaves[0]),
+      leaf_fact(2, 20, d0_leaves[1], d1_leaves[1]),
+      leaf_fact(3, 30, half_a, d1_leaves[0]),  // imprecise, confined to A
+      leaf_fact(4, 40, d0_leaves[4], d1_leaves[0]),
+      leaf_fact(5, 50, d0_leaves[5], d1_leaves[1]),
+      leaf_fact(6, 60, half_b, d1_leaves[1]),  // imprecise, confined to B
+  };
+
+  StorageEnv env(MakeTempDir(), 256);
+  auto file = WriteFacts(env, facts);
+  ASSERT_TRUE(file.ok());
+  IOLAP_ASSERT_OK_AND_ASSIGN(
+      auto manager,
+      MaintenanceManager::Build(env, schema, &file.value(), options_));
+
+  EdbMap before = LoadLiveEdb(env, manager->edb());
+  // Mutate half B only: bump the precise fact 4 (shifts the measure-policy
+  // allocation of fact 6's component) and delete fact 5.
+  MaintenanceStats stats;
+  IOLAP_ASSERT_OK(manager->ApplyUpdates({FactUpdate{facts[3], 400.0}}, &stats));
+  IOLAP_ASSERT_OK(manager->DeleteFacts({facts[4]}, &stats));
+  ASSERT_GT(stats.touched_boxes.size(), 0u);
+  EdbMap after = LoadLiveEdb(env, manager->edb());
+
+  auto in_some_box = [&](const CellKey& cell) {
+    for (const Rect& r : stats.touched_boxes) {
+      bool inside = true;
+      for (int d = 0; d < k; ++d) {
+        if (cell[d] < r.lo[d] || cell[d] > r.hi[d]) inside = false;
+      }
+      if (inside) return true;
+    }
+    return false;
+  };
+  // Soundness: rows that changed, appeared, or vanished all sit inside a
+  // reported box.
+  int changed = 0;
+  for (const auto& [key, wm] : before) {
+    auto it = after.find(key);
+    if (it != after.end() && std::abs(it->second.first - wm.first) < 1e-12 &&
+        std::abs(it->second.second - wm.second) < 1e-12) {
+      continue;
+    }
+    ++changed;
+    EXPECT_TRUE(in_some_box(key.second))
+        << "changed row of fact " << key.first << " outside every box";
+  }
+  for (const auto& [key, wm] : after) {
+    if (before.count(key) != 0) continue;
+    ++changed;
+    EXPECT_TRUE(in_some_box(key.second))
+        << "new row of fact " << key.first << " outside every box";
+  }
+  ASSERT_GT(changed, 0);
+
+  // Tightness: nothing in half A moved, so no box may reach into A's leaf
+  // range — a box spanning the whole domain would pass soundness but
+  // needlessly invalidate A's cached results.
+  Rect a_rect;
+  a_rect.lo[0] = schema.dim(0).leaf_begin(half_a);
+  a_rect.hi[0] = schema.dim(0).leaf_end(half_a) - 1;
+  a_rect.lo[1] = 0;
+  a_rect.hi[1] = static_cast<int32_t>(d1_leaves.size()) - 1;
+  for (const Rect& r : stats.touched_boxes) {
+    EXPECT_FALSE(RectsIntersect(r, a_rect, k))
+        << "touched box leaks into the unmutated half";
+  }
+  for (const auto& [key, wm] : before) {
+    if (key.second[0] > a_rect.hi[0]) continue;  // a B-side row
+    auto it = after.find(key);
+    ASSERT_NE(it, after.end());
+    EXPECT_NEAR(it->second.first, wm.first, 1e-12);
+    EXPECT_NEAR(it->second.second, wm.second, 1e-12);
+  }
 }
 
 }  // namespace

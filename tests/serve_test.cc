@@ -256,6 +256,96 @@ TEST_F(ServeTest, TombstonesSkippedOnCachedPath) {
   EXPECT_NEAR(count.value, 13.0, 1e-9);
 }
 
+TEST_F(ServeTest, DeletedExtremumIsNeverServedStale) {
+  QueryService service(manager_.get(), ServeOptions{});
+  QueryEngine engine(&env_, &schema_, &manager_->edb());
+
+  // Warm the cache with kMin/kMax over every probe region, remembering the
+  // pre-delete global extrema.
+  for (const QueryRegion& region : ProbeRegions()) {
+    IOLAP_ASSERT_OK(service.Aggregate(region, AggregateFunc::kMin).status());
+    IOLAP_ASSERT_OK(service.Aggregate(region, AggregateFunc::kMax).status());
+  }
+  IOLAP_ASSERT_OK_AND_ASSIGN(
+      AggregateResult max_before,
+      service.Aggregate(QueryRegion::All(), AggregateFunc::kMax));
+
+  // Delete the fact carrying the largest measure: its rows vanish, so any
+  // cached max that still reported it would be a stale extremum.
+  size_t max_idx = 0;
+  for (size_t i = 1; i < facts_.size(); ++i) {
+    if (facts_[i].measure > facts_[max_idx].measure) max_idx = i;
+  }
+  EXPECT_NEAR(max_before.value, facts_[max_idx].measure, 1e-9);
+  IOLAP_ASSERT_OK(service.DeleteFacts({facts_[max_idx]}));
+
+  // Deletes are non-subtractive for extrema: a cached min/max can only be
+  // trusted if its entry was invalidated and recomputed. Every served
+  // answer must now equal a fresh rescan, hit or miss.
+  for (const QueryRegion& region : ProbeRegions()) {
+    for (AggregateFunc func : {AggregateFunc::kMin, AggregateFunc::kMax}) {
+      IOLAP_ASSERT_OK_AND_ASSIGN(AggregateResult expected,
+                                 engine.Aggregate(region, func));
+      IOLAP_ASSERT_OK_AND_ASSIGN(AggregateResult served,
+                                 service.Aggregate(region, func));
+      EXPECT_NEAR(served.value, expected.value, 1e-9);
+    }
+  }
+  bool hit = true;
+  IOLAP_ASSERT_OK_AND_ASSIGN(
+      AggregateResult max_after,
+      service.Aggregate(QueryRegion::All(), AggregateFunc::kMax, nullptr,
+                        &hit));
+  EXPECT_LT(max_after.value, max_before.value);
+}
+
+TEST_F(ServeTest, CompactionKeepsCachedExtremaCorrect) {
+  QueryService service(manager_.get(), ServeOptions{});
+  // Tombstone a row first so Compact() has real work, then cache kMin/kMax
+  // over every probe region at the post-delete generation.
+  IOLAP_ASSERT_OK(service.DeleteFacts({facts_[1]}));
+  std::vector<double> min_before;
+  std::vector<double> max_before;
+  for (const QueryRegion& region : ProbeRegions()) {
+    IOLAP_ASSERT_OK_AND_ASSIGN(
+        AggregateResult mn, service.Aggregate(region, AggregateFunc::kMin));
+    IOLAP_ASSERT_OK_AND_ASSIGN(
+        AggregateResult mx, service.Aggregate(region, AggregateFunc::kMax));
+    min_before.push_back(mn.value);
+    max_before.push_back(mx.value);
+  }
+
+  IOLAP_ASSERT_OK_AND_ASSIGN(int64_t removed, service.Compact());
+  EXPECT_GE(removed, 1);
+
+  // Compaction is a physical rewrite with identical logical content: every
+  // cached extremum must survive as a hit and still equal a fresh rescan.
+  QueryEngine engine(&env_, &schema_, &manager_->edb());
+  const std::vector<QueryRegion> regions = ProbeRegions();
+  for (size_t i = 0; i < regions.size(); ++i) {
+    bool hit = false;
+    IOLAP_ASSERT_OK_AND_ASSIGN(
+        AggregateResult mn,
+        service.Aggregate(regions[i], AggregateFunc::kMin, nullptr, &hit));
+    EXPECT_TRUE(hit);
+    hit = false;
+    IOLAP_ASSERT_OK_AND_ASSIGN(
+        AggregateResult mx,
+        service.Aggregate(regions[i], AggregateFunc::kMax, nullptr, &hit));
+    EXPECT_TRUE(hit);
+    EXPECT_NEAR(mn.value, min_before[i], 1e-9);
+    EXPECT_NEAR(mx.value, max_before[i], 1e-9);
+    IOLAP_ASSERT_OK_AND_ASSIGN(
+        AggregateResult mn_rescan,
+        engine.Aggregate(regions[i], AggregateFunc::kMin));
+    IOLAP_ASSERT_OK_AND_ASSIGN(
+        AggregateResult mx_rescan,
+        engine.Aggregate(regions[i], AggregateFunc::kMax));
+    EXPECT_NEAR(mn.value, mn_rescan.value, 1e-9);
+    EXPECT_NEAR(mx.value, mx_rescan.value, 1e-9);
+  }
+}
+
 TEST_F(ServeTest, CompactionKeepsCacheAndGeneration) {
   QueryService service(manager_.get(), ServeOptions{});
   MaintenanceStats stats;

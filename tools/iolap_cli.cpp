@@ -32,6 +32,7 @@
 //
 //   iolap_cli serve --schema=s.csv --facts=f.csv --serve-workload=trace.txt
 //       [--serve-threads=4] [--cache-slots=4096] [--min-partition-rows=4096]
+//       [--agg-index=1]   # answer cache misses from the aggregate index
 //       Builds the Extended Database behind the maintenance layer and
 //       replays a query/mutation trace through the serving subsystem
 //       (partitioned parallel scans + generation-versioned aggregate
@@ -441,6 +442,7 @@ int CmdServe(const Flags& flags) {
   sopts.num_threads = static_cast<int>(flags.GetInt("serve-threads", 4));
   sopts.min_partition_rows = flags.GetInt("min-partition-rows", 4096);
   sopts.cache_slots = flags.GetInt("cache-slots", 4096);
+  sopts.agg_index = flags.GetInt("agg-index", 0) != 0;
   QueryService service(manager.get(), sopts);
 
   std::string workload = flags.GetString("serve-workload", "");
@@ -464,6 +466,15 @@ int CmdServe(const Flags& flags) {
                 " (evicted %" PRId64 ", invalidated %" PRId64 ")\n",
                 service.generation(), stats.hits, stats.misses,
                 stats.evicted_entries, stats.invalidated_entries);
+  }
+  if (service.agg_index() != nullptr) {
+    AggIndex::Stats istats = service.agg_index()->stats();
+    std::printf("agg index: %" PRId64 " probes over %" PRId64
+                " cells / %" PRId64 " pages (height %" PRId64
+                "), %" PRId64 " builds, %" PRId64 " refreshes, %" PRId64
+                " cells patched\n",
+                istats.probes, istats.cells, istats.pages, istats.height,
+                istats.builds, istats.refreshes, istats.cells_patched);
   }
   return 0;
 }
