@@ -1,0 +1,381 @@
+// Extension experiment: sharded serving + the parallel group-by engine.
+//
+// Three phases over one maintained EDB:
+//  * scan_scaling — uncached query throughput at 8 shards across thread
+//    counts {1, 2, 4, 8}; every answer is cross-checked against the serial
+//    QueryEngine (relative 1e-9; the chunked merge is deterministic but
+//    rounds in a different order than a row-by-row fold) into
+//    `sharded_correct`. The headline number is speedup at 8 threads vs 1
+//    (target >= 3x on a machine with >= 8 cores); `speedup_ok` lands in
+//    the JSON and CI asserts it only when the runner has the cores
+//    (`hardware_concurrency` is emitted so the gate is auditable).
+//  * shard_isolation — a maintenance thread streams update batches into
+//    one shard while a query thread probes a node owned by a *different*
+//    shard, bracketing every query with reads of the batch shard's
+//    generation. Shard generations bump while the batch still holds its
+//    exclusive locks, so a bump observed inside a query's window proves
+//    the query ran concurrently with the locked commit. Unsharded, the
+//    query's shared lock and the commit's exclusive lock are on the same
+//    shard, so a straddle is impossible (the query's pinned snapshot
+//    filters the out-of-lock slivers). Together: `maintenance_nonblocking`
+//    = sharded straddles > 0 and unsharded straddles == 0 — valid even on
+//    a single-core runner, where wall-clock speedups are meaningless but
+//    lock overlap is not.
+//  * determinism — the same probe workload at shards {1, 2, 8} must be
+//    byte-identical (`deterministic_across_shards`).
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "edb/maintenance.h"
+#include "serve/query_service.h"
+
+using namespace iolap;
+
+namespace {
+
+struct RollProbe {
+  QueryRegion region;
+  int dim;
+  int level;
+};
+
+bool FullyPrecise(const StarSchema& schema, const FactRecord& f) {
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    const Hierarchy& h = schema.dim(d);
+    if (h.leaf_end(f.node[d]) - h.leaf_begin(f.node[d]) != 1) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  auto obs = ObsFromFlags(flags);
+  const int64_t facts_n = flags.GetInt("facts", 30'000);
+  const int64_t buffer_pages = flags.GetInt("buffer_pages", 4096);
+  const int64_t rounds = flags.GetInt("rounds", 3);
+  const int64_t batch_updates = flags.GetInt("batch_updates", 150);
+  const int64_t batches = flags.GetInt("batches", 8);
+  JsonWriter json(flags.GetString("json", "BENCH_serve_scaling.json"));
+
+  StarSchema schema = Unwrap(MakeAutomotiveSchema());
+  DatasetSpec spec = AutomotiveLikeSpec(facts_n, 29);
+  StorageEnv env(MakeWorkDir("serve_scaling_bench"), buffer_pages);
+  TypedFile<FactRecord> facts = Unwrap(GenerateFacts(env, schema, spec));
+  std::vector<FactRecord> raw;
+  {
+    auto cursor = facts.Scan(env.pool());
+    FactRecord f;
+    while (!cursor.done()) {
+      DieOnError(cursor.Next(&f));
+      raw.push_back(f);
+    }
+  }
+  AllocationOptions options;
+  auto manager =
+      Unwrap(MaintenanceManager::Build(env, schema, &facts, options));
+  const int64_t hw =
+      static_cast<int64_t>(std::thread::hardware_concurrency());
+  std::printf("facts=%lld edb_rows=%lld hardware_concurrency=%lld\n",
+              static_cast<long long>(facts_n),
+              static_cast<long long>(manager->edb().size()),
+              static_cast<long long>(hw));
+
+  // Probe workload: grand totals, level-2 slices, and rollups at two
+  // hierarchy levels (the second one high-cardinality enough to matter).
+  std::vector<QueryRegion> point_probes = {QueryRegion::All()};
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    if (schema.dim(d).num_levels() < 3) continue;
+    for (NodeId node : schema.dim(d).nodes_at_level(2)) {
+      point_probes.push_back(QueryRegion::All().With(d, node));
+    }
+  }
+  std::vector<RollProbe> roll_probes = {{QueryRegion::All(), 0, 1},
+                                        {QueryRegion::All(), 0, 2},
+                                        {QueryRegion::All(), 1, 1}};
+  const int64_t queries_per_round =
+      static_cast<int64_t>(point_probes.size() + roll_probes.size());
+
+  auto run_probes =
+      [&](QueryService& service) -> std::vector<AggregateResult> {
+    std::vector<AggregateResult> out;
+    for (const QueryRegion& probe : point_probes) {
+      out.push_back(
+          Unwrap(service.UncachedAggregate(probe, AggregateFunc::kSum)));
+    }
+    for (const RollProbe& p : roll_probes) {
+      std::vector<AggregateResult> groups = Unwrap(
+          service.UncachedRollUp(p.region, p.dim, p.level,
+                                 AggregateFunc::kSum));
+      out.insert(out.end(), groups.begin(), groups.end());
+    }
+    return out;
+  };
+
+  // The serial oracle, once.
+  QueryEngine engine(&env, &schema, &manager->edb());
+  std::vector<AggregateResult> oracle;
+  for (const QueryRegion& probe : point_probes) {
+    oracle.push_back(Unwrap(engine.Aggregate(probe, AggregateFunc::kSum)));
+  }
+  for (const RollProbe& p : roll_probes) {
+    std::vector<AggregateResult> groups =
+        Unwrap(engine.RollUp(p.region, p.dim, p.level, AggregateFunc::kSum));
+    oracle.insert(oracle.end(), groups.begin(), groups.end());
+  }
+
+  bool size_mismatch = false;
+  double max_rel_err = 0;
+  auto check = [&](const std::vector<AggregateResult>& got) {
+    if (got.size() != oracle.size()) {
+      size_mismatch = true;
+      return;
+    }
+    for (size_t i = 0; i < got.size(); ++i) {
+      const double want = oracle[i].value;
+      const double err =
+          std::abs(got[i].value - want) / std::max(1.0, std::abs(want));
+      max_rel_err = std::max(max_rel_err, err);
+    }
+  };
+
+  // Phase 1 — scan scaling at 8 shards.
+  std::printf("%-8s %8s %10s %10s %10s\n", "threads", "shards", "queries",
+              "qps", "speedup");
+  double serial_qps = 0;
+  double speedup_at_8 = 0;
+  struct ScalingRow {
+    int threads;
+    int shards;
+    int64_t queries;
+    double qps;
+    double speedup;
+  };
+  std::vector<ScalingRow> scaling;
+  for (const int threads : {1, 2, 4, 8}) {
+    ServeOptions sopts;
+    sopts.num_threads = threads;
+    sopts.cache_slots = 0;  // pure scan path
+    sopts.num_shards = 8;
+    QueryService service(manager.get(), sopts);
+    check(run_probes(service));  // warm the buffer pool + verify
+    Stopwatch watch;
+    for (int64_t r = 0; r < rounds; ++r) (void)run_probes(service);
+    const double secs = watch.ElapsedSeconds();
+    const int64_t queries = queries_per_round * rounds;
+    const double qps = secs > 0 ? static_cast<double>(queries) / secs : 0;
+    if (threads == 1) serial_qps = qps;
+    const double speedup = serial_qps > 0 ? qps / serial_qps : 0;
+    if (threads == 8) speedup_at_8 = speedup;
+    scaling.push_back(
+        ScalingRow{threads, service.num_shards(), queries, qps, speedup});
+    std::printf("%-8d %8d %10lld %10.1f %10.2f\n", threads,
+                service.num_shards(), static_cast<long long>(queries), qps,
+                speedup);
+  }
+  const bool sharded_correct = !size_mismatch && max_rel_err <= 1e-9;
+  const bool speedup_ok = speedup_at_8 >= 3.0;
+  std::printf("max_rel_error=%.3g sharded_correct=%s\n", max_rel_err,
+              sharded_correct ? "true" : "false");
+
+  // Phase 2 — shard isolation via commit straddles (see file header).
+  // Batch facts are fully precise cells outside every alive component
+  // bbox, so a batch touches exactly one shard; current measures persist
+  // across the two configurations so `before` records stay accurate.
+  std::vector<double> current_measure(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    current_measure[i] = raw[i].measure;
+  }
+  std::vector<Rect> component_boxes;
+  for (const auto& c : manager->directory()) {
+    if (c.alive) component_boxes.push_back(c.bbox);
+  }
+  auto run_isolation = [&](int num_shards, int64_t* straddles,
+                           int64_t* queries_run,
+                           int64_t* batches_run) -> bool {
+    ServeOptions sopts;
+    sopts.num_threads = 2;
+    sopts.cache_slots = 0;
+    sopts.num_shards = num_shards;
+    QueryService service(manager.get(), sopts);
+    const ShardMap& map = service.shard_map();
+    const Hierarchy& h0 = schema.dim(0);
+    const int ndims = schema.num_dims();
+    std::vector<size_t> batch_facts;
+    int batch_shard = -1;
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (!FullyPrecise(schema, raw[i])) continue;
+      const Rect cell = FactRegionToRect(schema, raw[i]);
+      bool covered = false;
+      for (const Rect& b : component_boxes) {
+        if (RectsIntersect(cell, b, ndims)) {
+          covered = true;
+          break;
+        }
+      }
+      if (covered) continue;
+      const int s = map.ShardOfLeaf(h0.leaf_begin(raw[i].node[0]));
+      if (batch_shard < 0) batch_shard = s;
+      if (s != batch_shard) continue;
+      batch_facts.push_back(i);
+      if (batch_facts.size() >= static_cast<size_t>(batch_updates)) break;
+    }
+    if (batch_facts.empty()) return false;
+    // Probe: a dimension-0 node wholly owned by a different shard. With
+    // one shard there is none — the probe then shares the batch's lock,
+    // which is exactly the baseline whose straddle count must be zero.
+    QueryRegion probe = QueryRegion::All();
+    bool probe_found = false;
+    for (NodeId node : h0.nodes_at_level(1)) {
+      const int sb = map.ShardOfLeaf(h0.leaf_begin(node));
+      const int se = map.ShardOfLeaf(h0.leaf_end(node) - 1);
+      if (num_shards > 1 && (sb != se || sb == batch_shard)) continue;
+      probe = QueryRegion::All().With(0, node);
+      probe_found = true;
+      break;
+    }
+    if (!probe_found) return false;
+
+    std::atomic<bool> done{false};
+    std::atomic<int64_t> n_straddles{0};
+    std::atomic<int64_t> n_queries{0};
+    int64_t n_batches = 0;
+    std::thread maint([&] {
+      for (int64_t b = 0; b < batches; ++b) {
+        // Wait for a fresh query to complete before each batch — the next
+        // one starts immediately after, so the commit lands while a scan
+        // is in flight even on a single-core box where this thread could
+        // otherwise drain every batch before the querier is scheduled.
+        const int64_t before_q = n_queries.load(std::memory_order_acquire);
+        while (n_queries.load(std::memory_order_acquire) <= before_q) {
+          std::this_thread::yield();
+        }
+        std::vector<FactUpdate> updates;
+        updates.reserve(batch_facts.size());
+        for (size_t i : batch_facts) {
+          FactRecord before = raw[i];
+          before.measure = current_measure[i];
+          current_measure[i] += 1 + static_cast<double>(b);
+          updates.push_back(FactUpdate{before, current_measure[i]});
+        }
+        DieOnError(service.ApplyUpdates(updates));
+        ++n_batches;
+      }
+      done.store(true, std::memory_order_release);
+    });
+    std::thread querier([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        const int64_t g0 = service.shard_generation(batch_shard);
+        ShardSnapshot snap;
+        (void)Unwrap(service.UncachedAggregate(probe, AggregateFunc::kSum,
+                                               nullptr, &snap));
+        const int64_t g1 = service.shard_generation(batch_shard);
+        n_queries.fetch_add(1, std::memory_order_relaxed);
+        if (g1 <= g0) continue;
+        // If the query pinned the batch shard itself (unsharded), a bump
+        // already visible to its locked snapshot happened before the
+        // locks, not during — don't count the sliver.
+        const int last =
+            snap.first_shard + static_cast<int>(snap.generations.size()) - 1;
+        if (batch_shard >= snap.first_shard && batch_shard <= last &&
+            snap.generations[batch_shard - snap.first_shard] != g0) {
+          continue;
+        }
+        n_straddles.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    maint.join();
+    querier.join();
+    *straddles = n_straddles.load();
+    *queries_run = n_queries.load();
+    *batches_run = n_batches;
+    return true;
+  };
+
+  int64_t sharded_straddles = 0, sharded_queries = 0, sharded_batches = 0;
+  int64_t serial_straddles = 0, serial_queries = 0, serial_batches = 0;
+  const bool iso_ok =
+      run_isolation(8, &sharded_straddles, &sharded_queries,
+                    &sharded_batches) &&
+      run_isolation(1, &serial_straddles, &serial_queries, &serial_batches);
+  const bool maintenance_nonblocking =
+      iso_ok && sharded_straddles > 0 && serial_straddles == 0;
+  std::printf(
+      "isolation: sharded %lld commit straddles over %lld queries, "
+      "unsharded %lld over %lld -> nonblocking=%s\n",
+      static_cast<long long>(sharded_straddles),
+      static_cast<long long>(sharded_queries),
+      static_cast<long long>(serial_straddles),
+      static_cast<long long>(serial_queries),
+      maintenance_nonblocking ? "true" : "false");
+
+  // Phase 3 — byte-identical answers across shard counts. (The isolation
+  // phase mutated the EDB, so re-baseline against shards=1.)
+  bool deterministic = true;
+  std::vector<AggregateResult> baseline;
+  for (const int num_shards : {1, 2, 8}) {
+    ServeOptions sopts;
+    sopts.num_threads = 2;
+    sopts.cache_slots = 0;
+    sopts.num_shards = num_shards;
+    QueryService service(manager.get(), sopts);
+    std::vector<AggregateResult> got = run_probes(service);
+    if (baseline.empty()) {
+      baseline = std::move(got);
+      continue;
+    }
+    if (got.size() != baseline.size() ||
+        std::memcmp(baseline.data(), got.data(),
+                    baseline.size() * sizeof(AggregateResult)) != 0) {
+      deterministic = false;
+    }
+  }
+  std::printf(
+      "speedup@8=%.2fx (target >= 3x, hw=%lld) "
+      "deterministic_across_shards=%s\n",
+      speedup_at_8, static_cast<long long>(hw),
+      deterministic ? "true" : "false");
+
+  for (const ScalingRow& row : scaling) {
+    json.BeginObject();
+    json.Field("phase", "scan_scaling");
+    json.Field("facts", facts_n);
+    json.Field("threads", static_cast<int64_t>(row.threads));
+    json.Field("shards", static_cast<int64_t>(row.shards));
+    json.Field("queries", row.queries);
+    json.Field("qps", row.qps);
+    json.Field("speedup_vs_serial", row.speedup);
+    json.Field("hardware_concurrency", hw);
+    json.Field("speedup_ok", speedup_ok);
+    json.Field("max_rel_error", max_rel_err);
+    json.Field("sharded_correct", sharded_correct);
+    json.EndObject();
+  }
+  json.BeginObject();
+  json.Field("phase", "shard_isolation");
+  json.Field("facts", facts_n);
+  json.Field("batch_updates", batch_updates);
+  json.Field("sharded_commit_straddles", sharded_straddles);
+  json.Field("sharded_queries", sharded_queries);
+  json.Field("sharded_batches", sharded_batches);
+  json.Field("unsharded_commit_straddles", serial_straddles);
+  json.Field("unsharded_queries", serial_queries);
+  json.Field("maintenance_nonblocking", maintenance_nonblocking);
+  json.EndObject();
+  json.BeginObject();
+  json.Field("phase", "determinism");
+  json.Field("facts", facts_n);
+  json.Field("deterministic_across_shards", deterministic);
+  json.EndObject();
+  if (!json.Write()) return 1;
+  std::printf("wrote %s\n", json.path().c_str());
+  return (sharded_correct && maintenance_nonblocking && deterministic) ? 0 : 1;
+}

@@ -13,6 +13,9 @@ docs/:
     contain a numbered heading ``## N.``. Paper sections are written
     "Section N" by convention and are not checked.
 
+Additionally verifies that every benchmark binary (``bench/bench_*.cpp``)
+is documented: its stem must appear in a ``##`` heading of EXPERIMENTS.md.
+
 Exit status 0 when everything resolves; 1 otherwise, listing every broken
 reference as file:line: message.
 """
@@ -129,6 +132,20 @@ def main():
                     errors.append(
                         f"{rel}:{lineno}: §{section} has no numbered heading "
                         f"'## {section}.' in {where}")
+
+    experiments = os.path.join(REPO, "EXPERIMENTS.md")
+    headings = " ".join(
+        line for _, line in target_meta(experiments)[0]
+        if line.startswith("##"))
+    bench_dir = os.path.join(REPO, "bench")
+    for name in sorted(os.listdir(bench_dir)):
+        if not (name.startswith("bench_") and name.endswith(".cpp")):
+            continue
+        stem = name[: -len(".cpp")]
+        if stem not in headings:
+            errors.append(
+                f"bench/{name}: no '## ... `{stem}`' heading in "
+                f"EXPERIMENTS.md")
 
     for error in errors:
         print(error)

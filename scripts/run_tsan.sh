@@ -7,7 +7,9 @@
 # observability layer (lock-free metrics, trace collection from worker
 # threads), and the query-serving subsystem (concurrent queries racing a
 # maintenance stream against the generation-versioned aggregate cache and
-# the hierarchical aggregate index tier).
+# the hierarchical aggregate index tier, plus the sharded serve path:
+# per-shard snapshot locks, the parallel group-by engine, and the
+# multi-shard torture/determinism cases in serve_concurrent_test).
 # Zero reported races is a release gate for the parallel execution and
 # serving subsystems.
 #

@@ -64,7 +64,22 @@ Status AggIndex::Build() {
 
 Status AggIndex::EnsureBuiltLocked() {
   if (built_ && !stale_) return Status::Ok();
+  if (!rebuild_on_query_) {
+    return Status::Unavailable(
+        "aggregate index stale and query-path rebuilds are gated off");
+  }
   return BuildLocked(/*is_refresh=*/false);
+}
+
+void AggIndex::set_rebuild_on_query(bool allowed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rebuild_on_query_ = allowed;
+}
+
+Status AggIndex::RebuildIfStale() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (built_ && !stale_) return Status::Ok();
+  return BuildLocked(/*is_refresh=*/built_);
 }
 
 Status AggIndex::WritePageLocked(int64_t page,
@@ -377,6 +392,10 @@ Result<AggregateResult> AggIndex::Aggregate(const QueryRegion& region,
   const Rect query = RegionToRect(*schema_, region);
   if ((func == AggregateFunc::kMin || func == AggregateFunc::kMax) &&
       IntersectsDirtyLocked(query)) {
+    if (!rebuild_on_query_) {
+      return Status::Unavailable(
+          "min/max dirty and query-path rebuilds are gated off");
+    }
     IOLAP_RETURN_IF_ERROR(BuildLocked(/*is_refresh=*/true));
   }
   AggregateResult acc;
@@ -401,6 +420,10 @@ Result<std::vector<AggregateResult>> AggIndex::RollUp(
   const Rect base = RegionToRect(*schema_, region);
   if ((func == AggregateFunc::kMin || func == AggregateFunc::kMax) &&
       IntersectsDirtyLocked(base)) {
+    if (!rebuild_on_query_) {
+      return Status::Unavailable(
+          "min/max dirty and query-path rebuilds are gated off");
+    }
     IOLAP_RETURN_IF_ERROR(BuildLocked(/*is_refresh=*/true));
   }
   const std::vector<NodeId>& nodes = h.nodes_at_level(level);

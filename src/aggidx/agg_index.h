@@ -156,6 +156,21 @@ class AggIndex : public EdbChangeListener {
   /// partially applied batch); the next query rebuilds from the EDB.
   void Invalidate();
 
+  /// Whether a query may trigger a full (re)build, which scans the whole
+  /// EDB (default true). The sharded serve layer turns this off: a query
+  /// there holds only a subset of the shard locks, so a full EDB scan from
+  /// the query path could race a concurrent writer on an unlocked shard.
+  /// With rebuilds gated off, a query needing one returns kUnavailable and
+  /// the caller falls back to its own (safely locked) scan.
+  void set_rebuild_on_query(bool allowed);
+
+  /// Rebuilds now if the index is unbuilt or stale; a no-op otherwise.
+  /// The mutation-path companion of the gate above — called where the
+  /// caller knows no writer can be concurrent (e.g. after a commit, under
+  /// the mutation lock). Dirty min/max rects alone do not trigger this
+  /// (they only pessimize MIN/MAX queries, which keep falling back).
+  Status RebuildIfStale();
+
   Stats stats() const;
 
  private:
@@ -202,6 +217,7 @@ class AggIndex : public EdbChangeListener {
   int64_t num_pages_ = 0;  // node pages written by the last build
   bool built_ = false;
   bool stale_ = false;  // full rebuild required before any answer
+  bool rebuild_on_query_ = true;  // see set_rebuild_on_query
   std::map<LeafKey, Partials> overlay_;  // cells added after the build
   std::vector<Rect> dirty_minmax_;       // regions with stale min/max
   std::map<LeafKey, CellDelta> pending_;  // in-flight batch deltas

@@ -91,6 +91,21 @@ inline QueryRegion NormalizeRegion(const StarSchema& schema,
   return out;
 }
 
+/// The inclusive leaf box a fact's (possibly imprecise) region covers —
+/// the fact-record analogue of RegionToRect. The sharded serve layer uses
+/// this to compute which shards a maintenance batch can touch before
+/// applying it.
+inline Rect FactRegionToRect(const StarSchema& schema,
+                             const FactRecord& fact) {
+  Rect r;
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    const Hierarchy& h = schema.dim(d);
+    r.lo[d] = h.leaf_begin(fact.node[d]);
+    r.hi[d] = h.leaf_end(fact.node[d]) - 1;
+  }
+  return r;
+}
+
 /// Does `region` intersect the leaf box `rect`? Used by the serve cache to
 /// decide whether a maintenance batch's touched component boxes overlap a
 /// cached result's region.

@@ -1,0 +1,48 @@
+#ifndef IOLAP_EXEC_PARALLEL_FOR_H_
+#define IOLAP_EXEC_PARALLEL_FOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "exec/thread_pool.h"
+
+namespace iolap {
+
+/// Runs `fn(0) ... fn(n-1)` to completion, on `pool` when one is given and
+/// inline on the calling thread otherwise, and returns the failing Status
+/// of the lowest index (every submitted task still finishes first, so `fn`
+/// may reference caller-owned state). The index space — not the execution
+/// order — is the contract: each call must only touch state owned by its
+/// index plus thread-safe shared services, so the result is independent of
+/// the thread count.
+inline Status ParallelFor(ThreadPool* pool, int64_t n,
+                          const std::function<Status(int64_t)>& fn) {
+  if (n <= 0) return Status::Ok();
+  if (pool == nullptr || n == 1) {
+    for (int64_t i = 0; i < n; ++i) IOLAP_RETURN_IF_ERROR(fn(i));
+    return Status::Ok();
+  }
+  std::vector<Status> results(n, Status::Ok());
+  std::vector<TaskFuture> futures;
+  futures.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    Status* slot = &results[i];
+    futures.push_back(pool->Submit([&fn, i, slot] {
+      *slot = fn(i);
+      return Status::Ok();
+    }));
+  }
+  for (const TaskFuture& f : futures) {
+    const Status pool_status = f.Wait();
+    (void)pool_status;  // per-index status below carries the real error
+  }
+  for (const Status& s : results) IOLAP_RETURN_IF_ERROR(s);
+  return Status::Ok();
+}
+
+}  // namespace iolap
+
+#endif  // IOLAP_EXEC_PARALLEL_FOR_H_

@@ -131,4 +131,9 @@ Gauge* GlobalGauge(const std::string& name) {
   return m != nullptr ? m->gauge(name) : nullptr;
 }
 
+Histogram* GlobalHistogram(const std::string& name) {
+  MetricsRegistry* m = GlobalMetrics();
+  return m != nullptr ? m->histogram(name) : nullptr;
+}
+
 }  // namespace iolap

@@ -119,6 +119,7 @@ void SetGlobalMetrics(MetricsRegistry* registry);
 /// instrumented constructors cache the result once.
 Counter* GlobalCounter(const std::string& name);
 Gauge* GlobalGauge(const std::string& name);
+Histogram* GlobalHistogram(const std::string& name);
 
 }  // namespace iolap
 

@@ -56,7 +56,7 @@ bool AggregateCache::Lookup(const AggregateCacheKey& key,
 
 void AggregateCache::Insert(const AggregateCacheKey& key, const Rect& bbox,
                             std::vector<AggregateResult> values,
-                            int64_t generation) {
+                            int64_t generation, uint64_t shard_mask) {
   const int64_t slots = static_cast<int64_t>(values.size());
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
@@ -66,6 +66,7 @@ void AggregateCache::Insert(const AggregateCacheKey& key, const Rect& bbox,
     it->second->values = std::move(values);
     it->second->bbox = bbox;
     it->second->generation = generation;
+    it->second->shard_mask = shard_mask;
     used_slots_ += slots;
     lru_.splice(lru_.begin(), lru_, it->second);
     if (slots_gauge_ != nullptr) slots_gauge_->Set(used_slots_);
@@ -73,7 +74,7 @@ void AggregateCache::Insert(const AggregateCacheKey& key, const Rect& bbox,
   }
   if (slots > capacity_slots_) return;  // bigger than the whole cache
   EvictForSpace(slots);
-  lru_.push_front(Entry{key, bbox, std::move(values), generation});
+  lru_.push_front(Entry{key, bbox, std::move(values), generation, shard_mask});
   index_.emplace(key, lru_.begin());
   used_slots_ += slots;
   ++stats_.inserted_entries;
@@ -101,6 +102,25 @@ int64_t AggregateCache::Invalidate(const Rect* boxes, size_t num_boxes,
       touched = RectsIntersect(it->bbox, boxes[b], num_dims);
     }
     if (touched) {
+      used_slots_ -= static_cast<int64_t>(it->values.size());
+      index_.erase(it->key);
+      it = lru_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  stats_.invalidated_entries += dropped;
+  if (invalidated_counter_ != nullptr) invalidated_counter_->Add(dropped);
+  if (slots_gauge_ != nullptr) slots_gauge_->Set(used_slots_);
+  return dropped;
+}
+
+int64_t AggregateCache::InvalidateShards(uint64_t shard_mask) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if ((it->shard_mask & shard_mask) != 0) {
       used_slots_ -= static_cast<int64_t>(it->values.size());
       index_.erase(it->key);
       it = lru_.erase(it);

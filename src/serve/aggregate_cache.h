@@ -91,15 +91,23 @@ class AggregateCache {
               int64_t* generation = nullptr);
 
   /// Admits (or refreshes) a result computed at `generation` for a query
-  /// whose region covers the leaf box `bbox`. Evicts from the LRU tail
-  /// until the entry fits; an entry bigger than the whole cache is not
-  /// admitted.
+  /// whose region covers the leaf box `bbox` and read the shards in
+  /// `shard_mask` (every bit set, the default, is always safe). Evicts from
+  /// the LRU tail until the entry fits; an entry bigger than the whole
+  /// cache is not admitted.
   void Insert(const AggregateCacheKey& key, const Rect& bbox,
-              std::vector<AggregateResult> values, int64_t generation);
+              std::vector<AggregateResult> values, int64_t generation,
+              uint64_t shard_mask = ~uint64_t{0});
 
   /// Drops every entry whose region intersects one of `boxes`; returns the
   /// number dropped.
   int64_t Invalidate(const Rect* boxes, size_t num_boxes, int num_dims);
+
+  /// Drops every entry that read a shard in `shard_mask`; returns the
+  /// number dropped. This is the failed-batch path: a batch that failed on
+  /// shards S may have partially applied anywhere in S, but cannot have
+  /// touched a byte outside S — so entries over other shards survive.
+  int64_t InvalidateShards(uint64_t shard_mask);
 
   void Clear();
 
@@ -114,6 +122,7 @@ class AggregateCache {
     Rect bbox;
     std::vector<AggregateResult> values;
     int64_t generation = 0;
+    uint64_t shard_mask = ~uint64_t{0};
   };
   using Lru = std::list<Entry>;
 

@@ -1,0 +1,295 @@
+#include "serve/groupby.h"
+
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <utility>
+
+#include "exec/parallel_for.h"
+#include "exec/parallel_scheduler.h"
+#include "obs/metrics.h"
+
+namespace iolap {
+
+namespace {
+
+/// Radix fan-out of the high-cardinality variant. Fixed (never derived from
+/// the thread count) so the bucket assignment, and with it every
+/// accumulation order, is configuration-independent. Power of two for the
+/// mask below.
+constexpr int kRadixBuckets = 64;
+
+/// Chunk-private group accumulator: dense array for small group counts, an
+/// open-addressing hash (linear probing, power-of-two capacity) above
+/// dense_group_limit. Both hold exactly one accumulator per touched group,
+/// so which one is chosen never changes any value — only memory.
+class LocalAcc {
+ public:
+  LocalAcc(int64_t num_groups, int64_t dense_limit)
+      : dense_(num_groups <= dense_limit) {
+    if (dense_) {
+      vals_.resize(num_groups);
+    } else {
+      capacity_ = 64;
+      keys_.assign(capacity_, -1);
+      vals_.resize(capacity_);
+    }
+  }
+
+  void Add(int32_t g, double weight, double measure) {
+    if (dense_) {
+      AccumulateAggregate(&vals_[g], weight, measure);
+      return;
+    }
+    if (size_ * 10 >= capacity_ * 7) Grow();
+    size_t slot = static_cast<size_t>(g) & (capacity_ - 1);
+    while (keys_[slot] != -1 && keys_[slot] != g) {
+      slot = (slot + 1) & (capacity_ - 1);
+    }
+    if (keys_[slot] == -1) {
+      keys_[slot] = g;
+      ++size_;
+    }
+    AccumulateAggregate(&vals_[slot], weight, measure);
+  }
+
+  /// Merges every touched group into `out` (groups with no matching rows
+  /// are skipped, so merging is a no-op for untouched chunks). Distinct
+  /// groups are independent accumulators, so the iteration order within
+  /// one chunk cannot affect any value.
+  void MergeInto(std::vector<AggregateResult>* out) const {
+    if (dense_) {
+      for (size_t g = 0; g < vals_.size(); ++g) {
+        if (vals_[g].count > 0) MergeAggregate(&(*out)[g], vals_[g]);
+      }
+    } else {
+      for (size_t s = 0; s < capacity_; ++s) {
+        if (keys_[s] != -1) MergeAggregate(&(*out)[keys_[s]], vals_[s]);
+      }
+    }
+  }
+
+ private:
+  void Grow() {
+    const size_t new_capacity = capacity_ * 2;
+    std::vector<int32_t> keys(new_capacity, -1);
+    std::vector<AggregateResult> vals(new_capacity);
+    for (size_t s = 0; s < capacity_; ++s) {
+      if (keys_[s] == -1) continue;
+      size_t slot = static_cast<size_t>(keys_[s]) & (new_capacity - 1);
+      while (keys[slot] != -1) slot = (slot + 1) & (new_capacity - 1);
+      keys[slot] = keys_[s];
+      vals[slot] = vals_[s];
+    }
+    keys_.swap(keys);
+    vals_.swap(vals);
+    capacity_ = new_capacity;
+  }
+
+  bool dense_;
+  std::vector<AggregateResult> vals_;
+  std::vector<int32_t> keys_;  // hash only; -1 = empty
+  size_t capacity_ = 0;        // hash only; power of two
+  size_t size_ = 0;            // hash only
+};
+
+}  // namespace
+
+GroupByEngine::GroupByEngine(StorageEnv* env, const StarSchema* schema,
+                             const TypedFile<EdbRecord>* edb, ThreadPool* pool,
+                             const GroupByOptions& options)
+    : env_(env),
+      schema_(schema),
+      edb_(edb),
+      pool_(pool),
+      options_(options),
+      local_queries_counter_(GlobalCounter("serve.groupby.local_queries")),
+      radix_queries_counter_(GlobalCounter("serve.groupby.radix_queries")) {
+  // Snap the grid unit up to whole pages so no two chunks share a page and
+  // every task's read pins are for pages only it touches.
+  const int64_t rpp = TypedFile<EdbRecord>::kRecordsPerPage;
+  const int64_t want = std::max<int64_t>(1, options_.chunk_rows);
+  chunk_rows_ = ((want + rpp - 1) / rpp) * rpp;
+}
+
+std::vector<GroupByEngine::Chunk> GroupByEngine::BuildChunks(
+    const std::vector<RowRange>& ranges) const {
+  std::vector<Chunk> chunks;
+  for (const RowRange& r : ranges) {
+    int64_t pos = r.begin;
+    while (pos < r.end) {
+      const int64_t id = pos / chunk_rows_;
+      const int64_t stop = std::min(r.end, (id + 1) * chunk_rows_);
+      if (!chunks.empty() && chunks.back().id == id) {
+        chunks.back().parts.push_back({pos, stop});
+      } else {
+        chunks.push_back({id, {{pos, stop}}});
+      }
+      pos = stop;
+    }
+  }
+  return chunks;
+}
+
+namespace {
+
+/// Scans one chunk's row parts, filtering tombstones and the region, and
+/// feeds matching rows to `fn(group, weight, measure)` in ascending row
+/// order. `dim < 0` puts every row in group 0 (point aggregate).
+template <typename Fn>
+Status ScanChunk(StorageEnv* env, const StarSchema* schema,
+                 const TypedFile<EdbRecord>* edb,
+                 const std::vector<RowRange>& parts, const QueryRegion& region,
+                 int dim, int level, int64_t* rows_seen, Fn&& fn) {
+  const Hierarchy* h = dim >= 0 ? &schema->dim(dim) : nullptr;
+  EdbRecord rec;
+  for (const RowRange& part : parts) {
+    auto cursor = edb->Scan(env->pool(), part.begin, part.end);
+    while (!cursor.done()) {
+      IOLAP_RETURN_IF_ERROR(cursor.Next(&rec));
+      ++*rows_seen;
+      if (rec.weight == 0 && rec.fact_id == -1) continue;  // tombstone
+      if (!RegionContainsLeaf(*schema, region, rec.leaf)) continue;
+      const int32_t g =
+          h != nullptr ? h->LeafAncestorOrdinal(rec.leaf[dim], level) : 0;
+      fn(g, rec.weight, rec.measure);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::vector<AggregateResult>> GroupByEngine::LocalGroupBy(
+    const std::vector<Chunk>& chunks, const QueryRegion& region, int dim,
+    int level, int64_t num_groups, GroupByStats* stats) {
+  if (local_queries_counter_ != nullptr) local_queries_counter_->Add(1);
+  std::vector<AggregateResult> groups(num_groups);
+  std::vector<std::unique_ptr<LocalAcc>> accs(chunks.size());
+  std::vector<int64_t> rows(chunks.size(), 0);
+
+  std::vector<ScheduledUnit> units(chunks.size());
+  const int64_t unit_cost = std::min<int64_t>(num_groups, chunk_rows_);
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    ScheduledUnit& unit = units[c];
+    unit.cost = unit_cost;
+    unit.run = [this, &chunks, &accs, &rows, &region, dim, level, num_groups,
+                c]() -> Status {
+      auto acc =
+          std::make_unique<LocalAcc>(num_groups, options_.dense_group_limit);
+      IOLAP_RETURN_IF_ERROR(ScanChunk(
+          env_, schema_, edb_, chunks[c].parts, region, dim, level, &rows[c],
+          [&acc](int32_t g, double w, double m) { acc->Add(g, w, m); }));
+      accs[c] = std::move(acc);
+      return Status::Ok();
+    };
+    // Ordered emit: partials fold into the result in ascending chunk order
+    // regardless of which worker finished first.
+    unit.emit = [&groups, &accs, c]() -> Status {
+      accs[c]->MergeInto(&groups);
+      accs[c].reset();
+      return Status::Ok();
+    };
+  }
+  const int threads = pool_ != nullptr ? pool_->num_threads() : 1;
+  ParallelScheduler scheduler(pool_, unit_cost * threads * 4);
+  IOLAP_RETURN_IF_ERROR(scheduler.Execute(units));
+
+  for (int64_t r : rows) stats->rows_scanned += r;
+  stats->chunks = static_cast<int64_t>(chunks.size());
+  stats->used_radix = false;
+  return groups;
+}
+
+Result<std::vector<AggregateResult>> GroupByEngine::RadixGroupBy(
+    const std::vector<Chunk>& chunks, const QueryRegion& region, int dim,
+    int level, int64_t num_groups, GroupByStats* stats) {
+  if (radix_queries_counter_ != nullptr) radix_queries_counter_->Add(1);
+  struct Triple {
+    int32_t g;
+    double weight;
+    double measure;
+  };
+  using ChunkBuckets = std::array<std::vector<Triple>, kRadixBuckets>;
+
+  // Phase 1: each chunk partitions its matching rows by group ordinal into
+  // a fixed bucket fan-out, preserving row order within each bucket.
+  std::vector<ChunkBuckets> partitioned(chunks.size());
+  std::vector<int64_t> rows(chunks.size(), 0);
+  IOLAP_RETURN_IF_ERROR(ParallelFor(
+      pool_, static_cast<int64_t>(chunks.size()), [&](int64_t c) -> Status {
+        ChunkBuckets& buckets = partitioned[c];
+        return ScanChunk(env_, schema_, edb_, chunks[c].parts, region, dim,
+                         level, &rows[c],
+                         [&buckets](int32_t g, double w, double m) {
+                           buckets[g & (kRadixBuckets - 1)].push_back(
+                               {g, w, m});
+                         });
+      }));
+
+  // Phase 2: one task per bucket folds its rows in (chunk, row) order —
+  // i.e. ascending global row order — directly into the disjoint slice of
+  // the result it owns. No merge step, no cross-task writes, and the
+  // per-group accumulation order is independent of threads and ranges.
+  std::vector<AggregateResult> groups(num_groups);
+  IOLAP_RETURN_IF_ERROR(
+      ParallelFor(pool_, kRadixBuckets, [&](int64_t b) -> Status {
+        for (const ChunkBuckets& buckets : partitioned) {
+          for (const Triple& t : buckets[b]) {
+            AccumulateAggregate(&groups[t.g], t.weight, t.measure);
+          }
+        }
+        return Status::Ok();
+      }));
+
+  for (int64_t r : rows) stats->rows_scanned += r;
+  stats->chunks = static_cast<int64_t>(chunks.size());
+  stats->used_radix = true;
+  return groups;
+}
+
+Result<AggregateResult> GroupByEngine::Aggregate(
+    const std::vector<RowRange>& ranges, const QueryRegion& region,
+    AggregateFunc func, GroupByStats* stats) {
+  GroupByStats local;
+  GroupByStats* st = stats != nullptr ? stats : &local;
+  const std::vector<Chunk> chunks = BuildChunks(ranges);
+  // A point aggregate is a one-group group-by; one group always selects
+  // the local variant.
+  IOLAP_ASSIGN_OR_RETURN(
+      std::vector<AggregateResult> groups,
+      LocalGroupBy(chunks, region, /*dim=*/-1, /*level=*/0, 1, st));
+  FinalizeAggregate(&groups[0], func);
+  return groups[0];
+}
+
+Result<std::vector<AggregateResult>> GroupByEngine::RollUp(
+    const std::vector<RowRange>& ranges, const QueryRegion& region, int dim,
+    int level, AggregateFunc func, GroupByStats* stats) {
+  if (dim < 0 || dim >= schema_->num_dims()) {
+    return Status::InvalidArgument("rollup dimension out of range");
+  }
+  const Hierarchy& h = schema_->dim(dim);
+  if (level < 1 || level > h.num_levels()) {
+    return Status::InvalidArgument("rollup level out of range");
+  }
+  GroupByStats local;
+  GroupByStats* st = stats != nullptr ? stats : &local;
+  const int64_t num_groups = h.num_nodes_at_level(level);
+  const std::vector<Chunk> chunks = BuildChunks(ranges);
+  // Adaptive selection, from the (query-intrinsic) group count alone: the
+  // local variant merges O(groups) per chunk, which loses to partitioning
+  // once the group count dwarfs the matching rows per chunk.
+  std::vector<AggregateResult> groups;
+  if (num_groups > options_.radix_min_groups) {
+    IOLAP_ASSIGN_OR_RETURN(
+        groups, RadixGroupBy(chunks, region, dim, level, num_groups, st));
+  } else {
+    IOLAP_ASSIGN_OR_RETURN(
+        groups, LocalGroupBy(chunks, region, dim, level, num_groups, st));
+  }
+  for (AggregateResult& g : groups) FinalizeAggregate(&g, func);
+  return groups;
+}
+
+}  // namespace iolap

@@ -1,0 +1,119 @@
+#ifndef IOLAP_SERVE_GROUPBY_H_
+#define IOLAP_SERVE_GROUPBY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "edb/query.h"
+#include "exec/thread_pool.h"
+#include "model/records.h"
+#include "model/schema.h"
+#include "storage/paged_file.h"
+#include "storage/storage_env.h"
+
+namespace iolap {
+
+/// Half-open row-index range [begin, end) of the Extended Database.
+struct RowRange {
+  int64_t begin = 0;
+  int64_t end = 0;
+};
+
+struct GroupByOptions {
+  /// Unit of the fixed chunk grid (snapped up to a whole number of EDB
+  /// pages). The grid lives on *global row indices* and is independent of
+  /// the thread count, the shard count, and the row ranges scanned — the
+  /// cornerstone of cross-configuration determinism (see class comment).
+  int64_t chunk_rows = 4096;
+  /// Group counts strictly above this select the radix-partitioned variant
+  /// instead of the local-accumulator variant. Selection depends only on
+  /// the query (its group count), never on threads/shards/ranges.
+  int64_t radix_min_groups = 4096;
+  /// Group counts at most this use dense per-chunk arrays; above it (up to
+  /// radix_min_groups) a per-chunk open-addressing hash. Affects memory and
+  /// speed only — both accumulate identical values.
+  int64_t dense_group_limit = 512;
+};
+
+struct GroupByStats {
+  int64_t rows_scanned = 0;  // rows examined (incl. filtered / tombstones)
+  int64_t chunks = 0;        // grid chunks actually scanned
+  bool used_radix = false;
+};
+
+/// Parallel group-by aggregation over EDB row ranges.
+///
+/// Two variants, selected per query from the group count alone:
+///  * local (two-phase local accumulator + ordered merge): each grid chunk
+///    scans its rows into a chunk-private accumulator (dense array for
+///    small group counts, open-addressing hash above dense_group_limit);
+///    partials then merge into the result in ascending chunk order on the
+///    calling thread, with in-flight partials bounded — compute is
+///    unordered, output is ordered, the same discipline as the parallel
+///    Transitive path.
+///  * radix (for high-cardinality rollups): phase 1 partitions each
+///    chunk's matching rows into a fixed number of buckets by group
+///    ordinal; phase 2 gives each bucket to one task that folds its rows
+///    in (chunk, row) order directly into the disjoint slice of the result
+///    it owns — no merge step and no contention at any group count.
+///
+/// Determinism: a row matches the region filter independently of how the
+/// caller's ranges cover it, and rows outside the caller's ranges never
+/// match (the serve layer only queries regions whose rows lie inside the
+/// ranges it locked). So for a fixed chunk grid the sequence of matching
+/// rows per chunk — hence every floating-point accumulation order — is
+/// identical for ANY covering range set and ANY thread count, and partials
+/// with no matching rows are skipped at merge time. Answers are
+/// byte-identical across thread and shard configurations.
+///
+/// Thread-safe for concurrent calls; all state is per-call. The scanned
+/// ranges must be sorted, disjoint, and stable for the duration of the
+/// call (the serve layer guarantees this by holding shard locks).
+class GroupByEngine {
+ public:
+  GroupByEngine(StorageEnv* env, const StarSchema* schema,
+                const TypedFile<EdbRecord>* edb, ThreadPool* pool,
+                const GroupByOptions& options);
+
+  /// Allocation-weighted point aggregate over `region`, scanning `ranges`.
+  Result<AggregateResult> Aggregate(const std::vector<RowRange>& ranges,
+                                    const QueryRegion& region,
+                                    AggregateFunc func, GroupByStats* stats);
+
+  /// Group-by (rollup): one aggregate per node of `dim` at `level`
+  /// restricted to `region`, indexed by node ordinal.
+  Result<std::vector<AggregateResult>> RollUp(
+      const std::vector<RowRange>& ranges, const QueryRegion& region, int dim,
+      int level, AggregateFunc func, GroupByStats* stats);
+
+ private:
+  struct Chunk {
+    int64_t id = 0;                 // grid cell index (row / chunk_rows_)
+    std::vector<RowRange> parts;    // ranges ∩ grid cell, ascending
+  };
+
+  std::vector<Chunk> BuildChunks(const std::vector<RowRange>& ranges) const;
+
+  Result<std::vector<AggregateResult>> LocalGroupBy(
+      const std::vector<Chunk>& chunks, const QueryRegion& region, int dim,
+      int level, int64_t num_groups, GroupByStats* stats);
+  Result<std::vector<AggregateResult>> RadixGroupBy(
+      const std::vector<Chunk>& chunks, const QueryRegion& region, int dim,
+      int level, int64_t num_groups, GroupByStats* stats);
+
+  StorageEnv* env_;
+  const StarSchema* schema_;
+  const TypedFile<EdbRecord>* edb_;
+  ThreadPool* pool_;  // null = run inline on the calling thread
+  GroupByOptions options_;
+  int64_t chunk_rows_;  // options.chunk_rows snapped to pages
+
+  // Cached global-metrics handles (null when observability is disabled).
+  class Counter* local_queries_counter_;
+  class Counter* radix_queries_counter_;
+};
+
+}  // namespace iolap
+
+#endif  // IOLAP_SERVE_GROUPBY_H_

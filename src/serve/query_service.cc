@@ -1,5 +1,7 @@
 #include "serve/query_service.h"
 
+#include <algorithm>
+#include <string>
 #include <utility>
 
 #include "common/stopwatch.h"
@@ -10,9 +12,12 @@ namespace iolap {
 
 namespace {
 
-Histogram* GlobalHistogramOrNull(const char* name) {
-  MetricsRegistry* m = GlobalMetrics();
-  return m != nullptr ? m->histogram(name) : nullptr;
+int ClampShards(int requested) {
+  return std::max(1, std::min(requested, kMaxShards));
+}
+
+bool IsTombstone(const EdbRecord& rec) {
+  return rec.weight == 0 && rec.fact_id == -1;
 }
 
 }  // namespace
@@ -30,7 +35,11 @@ QueryService::QueryService(MaintenanceManager* manager,
       index_answers_counter_(GlobalCounter("serve.index_answers")),
       index_fallbacks_counter_(GlobalCounter("serve.index_fallbacks")),
       generation_gauge_(GlobalGauge("serve.generation")),
-      query_us_histogram_(GlobalHistogramOrNull("serve.query_us")) {
+      shards_gauge_(GlobalGauge("serve.shards")),
+      query_us_histogram_(GlobalHistogram("serve.query_us")),
+      scan_rows_histogram_(GlobalHistogram("serve.scan_rows")),
+      partitions_histogram_(GlobalHistogram("serve.partitions_per_query")) {
+  options_.num_shards = ClampShards(options_.num_shards);
   if (options_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   }
@@ -41,6 +50,15 @@ QueryService::QueryService(MaintenanceManager* manager,
     agg_index_ = std::make_unique<AggIndex>(env_, schema_, edb_);
     manager_->set_change_listener(agg_index_.get());
   }
+  GroupByOptions gopts;
+  gopts.chunk_rows = options_.min_partition_rows;
+  gopts.radix_min_groups = options_.radix_min_groups;
+  groupby_ = std::make_unique<GroupByEngine>(env_, schema_, edb_, pool_.get(),
+                                             gopts);
+  // Front-load shard construction (one EDB scan); on failure the first
+  // query retries and surfaces the error.
+  const Status init = EnsureShardsReady();
+  (void)init;
 }
 
 QueryService::QueryService(StorageEnv* env, const StarSchema* schema,
@@ -57,7 +75,11 @@ QueryService::QueryService(StorageEnv* env, const StarSchema* schema,
       index_answers_counter_(GlobalCounter("serve.index_answers")),
       index_fallbacks_counter_(GlobalCounter("serve.index_fallbacks")),
       generation_gauge_(GlobalGauge("serve.generation")),
-      query_us_histogram_(GlobalHistogramOrNull("serve.query_us")) {
+      shards_gauge_(GlobalGauge("serve.shards")),
+      query_us_histogram_(GlobalHistogram("serve.query_us")),
+      scan_rows_histogram_(GlobalHistogram("serve.scan_rows")),
+      partitions_histogram_(GlobalHistogram("serve.partitions_per_query")) {
+  options_.num_shards = ClampShards(options_.num_shards);
   if (options_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   }
@@ -67,6 +89,13 @@ QueryService::QueryService(StorageEnv* env, const StarSchema* schema,
   if (options_.agg_index) {
     agg_index_ = std::make_unique<AggIndex>(env_, schema_, edb_);
   }
+  GroupByOptions gopts;
+  gopts.chunk_rows = options_.min_partition_rows;
+  gopts.radix_min_groups = options_.radix_min_groups;
+  groupby_ = std::make_unique<GroupByEngine>(env_, schema_, edb_, pool_.get(),
+                                             gopts);
+  const Status init = EnsureShardsReady();
+  (void)init;
 }
 
 QueryService::~QueryService() {
@@ -77,148 +106,295 @@ QueryService::~QueryService() {
   }
 }
 
-int QueryService::PartitionCount(int64_t rows) const {
-  if (pool_ == nullptr || rows <= options_.min_partition_rows) return 1;
-  const int64_t by_rows =
-      (rows + options_.min_partition_rows - 1) / options_.min_partition_rows;
-  const int64_t p =
-      std::min<int64_t>(by_rows, static_cast<int64_t>(pool_->num_threads()));
-  return static_cast<int>(std::max<int64_t>(1, p));
+// ---------------------------------------------------------------------------
+// Shard construction and range maintenance.
+
+void QueryService::MakeShards(int num_shards) {
+  shards_.clear();
+  shards_.reserve(num_shards);
+  for (int s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    const std::string prefix = "serve.shard." + std::to_string(s);
+    shard->queries = GlobalCounter(prefix + ".queries");
+    shard->mutations = GlobalCounter(prefix + ".mutations");
+    shard->gen_gauge = GlobalGauge(prefix + ".generation");
+    shards_.push_back(std::move(shard));
+  }
+  if (shards_gauge_ != nullptr) shards_gauge_->Set(num_shards);
 }
 
-Result<AggregateResult> QueryService::ScanAggregate(const QueryRegion& region,
-                                                    AggregateFunc func) {
-  const int64_t rows = edb_->size();
-  const int num_parts = PartitionCount(rows);
-  if (partitions_counter_ != nullptr) partitions_counter_->Add(num_parts);
+Status QueryService::EnsureShardsReady() {
+  if (shards_ready_.load(std::memory_order_acquire)) return Status::Ok();
+  std::lock_guard<std::mutex> init_lock(init_mu_);
+  if (shards_ready_.load(std::memory_order_acquire)) return Status::Ok();
+  IOLAP_RETURN_IF_ERROR(InitShardsLocked());
+  shards_ready_.store(true, std::memory_order_release);
+  return Status::Ok();
+}
 
-  std::vector<AggregateResult> parts(num_parts);
-  auto scan_partition = [this, &region](int64_t start, int64_t end,
-                                        AggregateResult* part) -> Status {
-    auto cursor = edb_->Scan(env_->pool(), start, end);
+Status QueryService::InitShardsLocked() {
+  // Single-shard mode needs no geometry and no scan: one lock, the whole
+  // EDB as the implicit range — the classic snapshot-lock behavior.
+  if (options_.num_shards <= 1) {
+    if (shards_.empty()) MakeShards(1);
+    return Status::Ok();
+  }
+  // A re-init (after a failed range rebuild) must exclude mutators and
+  // in-flight queries: lock order init_mu_ -> mutation_mu_ -> all shards.
+  // The *first* init needs no locks — nothing touches shard state before
+  // shards_ready_, and every entry point funnels through init_mu_.
+  std::unique_lock<std::mutex> mutation_lock(mutation_mu_, std::defer_lock);
+  std::vector<std::unique_lock<std::shared_mutex>> shard_locks;
+  if (!shards_.empty()) {
+    mutation_lock.lock();
+    shard_locks.reserve(shards_.size());
+    for (auto& s : shards_) shard_locks.emplace_back(s->mu);
+  }
+  if (shards_.empty()) {
+    // One EDB pass for the per-leaf row histogram the packer balances
+    // against, then build the (immutable) map from it and the alive
+    // component boxes.
+    std::vector<int64_t> leaf_rows(schema_->dim(0).num_leaves(), 0);
+    auto cursor = edb_->Scan(env_->pool());
     EdbRecord rec;
     while (!cursor.done()) {
       IOLAP_RETURN_IF_ERROR(cursor.Next(&rec));
-      if (rec.weight == 0 && rec.fact_id == -1) continue;  // tombstone
-      if (!RegionContainsLeaf(*schema_, region, rec.leaf)) continue;
-      AccumulateAggregate(part, rec.weight, rec.measure);
+      if (IsTombstone(rec)) continue;
+      ++leaf_rows[rec.leaf[0]];
     }
-    return Status::Ok();
-  };
-
-  if (num_parts == 1) {
-    IOLAP_RETURN_IF_ERROR(scan_partition(0, rows, &parts[0]));
-  } else {
-    // Page-aligned contiguous partitions: no two tasks share a page, so
-    // every read pin is for a page only this task touches.
-    const int64_t pages = edb_->size_in_pages();
-    const int64_t pages_per_part = (pages + num_parts - 1) / num_parts;
-    std::vector<TaskFuture> futures;
-    futures.reserve(num_parts);
-    for (int p = 0; p < num_parts; ++p) {
-      const int64_t start = std::min(
-          rows, p * pages_per_part * TypedFile<EdbRecord>::kRecordsPerPage);
-      const int64_t end =
-          std::min(rows, (p + 1) * pages_per_part *
-                             TypedFile<EdbRecord>::kRecordsPerPage);
-      AggregateResult* part = &parts[p];
-      futures.push_back(pool_->Submit([scan_partition, start, end, part] {
-        return scan_partition(start, end, part);
-      }));
+    std::vector<Rect> boxes;
+    if (manager_ != nullptr) {
+      for (const auto& comp : manager_->directory()) {
+        if (comp.alive) boxes.push_back(comp.bbox);
+      }
     }
-    Status status = Status::Ok();
-    for (const TaskFuture& f : futures) {
-      Status s = f.Wait();
-      if (status.ok() && !s.ok()) status = s;
-    }
-    IOLAP_RETURN_IF_ERROR(status);
+    shard_map_ =
+        ShardMap::Build(*schema_, options_.num_shards, boxes, leaf_rows);
+    MakeShards(shard_map_.num_shards());
   }
+  if (shards_.size() == 1) return Status::Ok();  // atoms forced one shard
+  for (auto& s : shards_) s->ranges.clear();
+  int prev_shard = 0;
+  IOLAP_RETURN_IF_ERROR(AppendRangesFromScan(0, edb_->size(), &prev_shard));
+  if (agg_index_ != nullptr) {
+    // Sharded mode gates the index's query-path rebuilds (a query holds
+    // only its shards' locks, so it must not scan the whole EDB) and
+    // front-loads the first build here, where everything is quiescent.
+    agg_index_->set_rebuild_on_query(false);
+    const Status built = agg_index_->RebuildIfStale();
+    (void)built;  // failure: queries fall back to scans until a commit
+  }
+  return Status::Ok();
+}
 
-  AggregateResult out;
-  // Ascending partition order keeps the merged result deterministic for a
-  // fixed partition count.
-  for (const AggregateResult& part : parts) MergeAggregate(&out, part);
-  FinalizeAggregate(&out, func);
+Status QueryService::AppendRangesFromScan(int64_t begin, int64_t end,
+                                          int* prev_shard) {
+  const auto push = [this](int shard, int64_t b, int64_t e) {
+    std::vector<RowRange>& rs = shards_[shard]->ranges;
+    if (!rs.empty() && rs.back().end == b) {
+      rs.back().end = e;  // extend the adjacent run
+      return;
+    }
+    rs.push_back(RowRange{b, e});
+  };
+  auto cursor = edb_->Scan(env_->pool(), begin, end);
+  EdbRecord rec;
+  int run_shard = *prev_shard;
+  int64_t run_begin = begin;
+  for (int64_t row = begin; row < end; ++row) {
+    IOLAP_RETURN_IF_ERROR(cursor.Next(&rec));
+    // Tombstones carry no leaf; they stay with the run they interrupt so
+    // ranges remain maximal (any owner is correct — they match nothing).
+    const int shard =
+        IsTombstone(rec) ? run_shard : shard_map_.ShardOfLeaf(rec.leaf[0]);
+    if (shard != run_shard) {
+      if (row > run_begin) push(run_shard, run_begin, row);
+      run_shard = shard;
+      run_begin = row;
+    }
+  }
+  if (end > run_begin) push(run_shard, run_begin, end);
+  *prev_shard = run_shard;
+  return Status::Ok();
+}
+
+Status QueryService::RebuildTouchedLocked(const std::vector<int>& touched,
+                                          int64_t old_rows) {
+  // A batch only moves rows *within* the components it re-allocated, and
+  // every such component's bbox maps into `touched` — so rescanning the
+  // touched shards' old ranges plus the appended tail re-derives every
+  // range that could have changed, and rows found there can only map back
+  // into touched shards.
+  std::vector<RowRange> spans;
+  for (int s : touched) {
+    std::vector<RowRange>& rs = shards_[s]->ranges;
+    spans.insert(spans.end(), rs.begin(), rs.end());
+    rs.clear();
+  }
+  const int64_t rows = edb_->size();
+  if (rows > old_rows) spans.push_back(RowRange{old_rows, rows});
+  std::sort(spans.begin(), spans.end(),
+            [](const RowRange& a, const RowRange& b) {
+              return a.begin < b.begin;
+            });
+  int prev_shard = touched.empty() ? 0 : touched.front();
+  int64_t next = 0;  // old ranges are disjoint; just clamp and skip empties
+  for (const RowRange& span : spans) {
+    const int64_t b = std::max(span.begin, next);
+    const int64_t e = std::min(span.end, rows);
+    if (e <= b) continue;
+    IOLAP_RETURN_IF_ERROR(AppendRangesFromScan(b, e, &prev_shard));
+    next = e;
+  }
+  return Status::Ok();
+}
+
+std::vector<int> QueryService::TouchedShards(
+    const std::vector<Rect>& rects) const {
+  const int n = static_cast<int>(shards_.size());
+  std::vector<int> out;
+  if (n <= 1 || rects.empty()) {
+    // Single shard, or a batch with no geometry: lock everything.
+    out.reserve(n);
+    for (int s = 0; s < n; ++s) out.push_back(s);
+    return out;
+  }
+  std::vector<bool> hit(n, false);
+  const auto mark = [&](const Rect& r) {
+    const auto [lo, hi] = shard_map_.ShardRangeOfRect(r);
+    for (int s = lo; s <= hi; ++s) hit[s] = true;
+  };
+  for (const Rect& r : rects) mark(r);
+  if (manager_ != nullptr) {
+    // Components the batch overlaps are re-allocated whole; their rows can
+    // move anywhere inside the component bbox, which may have grown past
+    // the map's build-time geometry (post-build merges) — so mark every
+    // shard the *current* bbox intersects.
+    for (const auto& comp : manager_->directory()) {
+      if (!comp.alive) continue;
+      for (const Rect& r : rects) {
+        if (RectsIntersect(comp.bbox, r, schema_->num_dims())) {
+          mark(comp.bbox);
+          break;
+        }
+      }
+    }
+  }
+  for (int s = 0; s < n; ++s) {
+    if (hit[s]) out.push_back(s);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Query paths.
+
+QueryService::LockedShards QueryService::AcquireShared(
+    const Rect& rect, ShardSnapshot* snapshot) {
+  LockedShards ls;
+  int lo = 0;
+  int hi = 0;
+  if (shards_.size() > 1) {
+    std::tie(lo, hi) = shard_map_.ShardRangeOfRect(rect);
+  }
+  ls.first = lo;
+  ls.last = hi;
+  ls.locks.reserve(hi - lo + 1);
+  for (int s = lo; s <= hi; ++s) ls.locks.emplace_back(shards_[s]->mu);
+  ls.global_gen = generation_.load(std::memory_order_acquire);
+  if (snapshot != nullptr) {
+    snapshot->first_shard = lo;
+    snapshot->generations.clear();
+  }
+  for (int s = lo; s <= hi; ++s) {
+    if (snapshot != nullptr) {
+      snapshot->generations.push_back(
+          shards_[s]->gen.load(std::memory_order_acquire));
+    }
+    if (shards_[s]->queries != nullptr) shards_[s]->queries->Add(1);
+  }
+  return ls;
+}
+
+std::vector<RowRange> QueryService::CollectRanges(
+    const LockedShards& ls) const {
+  std::vector<RowRange> out;
+  if (shards_.size() <= 1) {
+    const int64_t rows = edb_->size();
+    if (rows > 0) out.push_back(RowRange{0, rows});
+    return out;
+  }
+  for (int s = ls.first; s <= ls.last; ++s) {
+    const std::vector<RowRange>& rs = shards_[s]->ranges;
+    out.insert(out.end(), rs.begin(), rs.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RowRange& a, const RowRange& b) {
+              return a.begin < b.begin;
+            });
+  // Coalesce runs adjacent across shards so the chunker sees maximal spans.
+  std::vector<RowRange> merged;
+  merged.reserve(out.size());
+  for (const RowRange& r : out) {
+    if (!merged.empty() && merged.back().end == r.begin) {
+      merged.back().end = r.end;
+    } else {
+      merged.push_back(r);
+    }
+  }
+  return merged;
+}
+
+Result<AggregateResult> QueryService::ScanAggregate(const LockedShards& ls,
+                                                    const QueryRegion& region,
+                                                    AggregateFunc func) {
+  GroupByStats gstats;
+  IOLAP_ASSIGN_OR_RETURN(
+      AggregateResult out,
+      groupby_->Aggregate(CollectRanges(ls), region, func, &gstats));
+  RecordScanStats(gstats);
   return out;
 }
 
 Result<std::vector<AggregateResult>> QueryService::ScanRollUp(
-    const QueryRegion& region, int dim, int level, AggregateFunc func) {
-  if (dim < 0 || dim >= schema_->num_dims()) {
-    return Status::InvalidArgument("rollup dimension out of range");
-  }
-  const Hierarchy& h = schema_->dim(dim);
-  if (level < 1 || level > h.num_levels()) {
-    return Status::InvalidArgument("rollup level out of range");
-  }
-  const int64_t num_groups = h.num_nodes_at_level(level);
-  const int64_t rows = edb_->size();
-  const int num_parts = PartitionCount(rows);
-  if (partitions_counter_ != nullptr) partitions_counter_->Add(num_parts);
-
-  std::vector<std::vector<AggregateResult>> parts(num_parts);
-  for (auto& part : parts) part.resize(num_groups);
-  auto scan_partition = [this, &region, &h, dim, level](
-                            int64_t start, int64_t end,
-                            std::vector<AggregateResult>* part) -> Status {
-    auto cursor = edb_->Scan(env_->pool(), start, end);
-    EdbRecord rec;
-    while (!cursor.done()) {
-      IOLAP_RETURN_IF_ERROR(cursor.Next(&rec));
-      if (rec.weight == 0 && rec.fact_id == -1) continue;  // tombstone
-      if (!RegionContainsLeaf(*schema_, region, rec.leaf)) continue;
-      AggregateResult& g = (*part)[h.LeafAncestorOrdinal(rec.leaf[dim], level)];
-      AccumulateAggregate(&g, rec.weight, rec.measure);
-    }
-    return Status::Ok();
-  };
-
-  if (num_parts == 1) {
-    IOLAP_RETURN_IF_ERROR(scan_partition(0, rows, &parts[0]));
-  } else {
-    const int64_t pages = edb_->size_in_pages();
-    const int64_t pages_per_part = (pages + num_parts - 1) / num_parts;
-    std::vector<TaskFuture> futures;
-    futures.reserve(num_parts);
-    for (int p = 0; p < num_parts; ++p) {
-      const int64_t start = std::min(
-          rows, p * pages_per_part * TypedFile<EdbRecord>::kRecordsPerPage);
-      const int64_t end =
-          std::min(rows, (p + 1) * pages_per_part *
-                             TypedFile<EdbRecord>::kRecordsPerPage);
-      std::vector<AggregateResult>* part = &parts[p];
-      futures.push_back(pool_->Submit([scan_partition, start, end, part] {
-        return scan_partition(start, end, part);
-      }));
-    }
-    Status status = Status::Ok();
-    for (const TaskFuture& f : futures) {
-      Status s = f.Wait();
-      if (status.ok() && !s.ok()) status = s;
-    }
-    IOLAP_RETURN_IF_ERROR(status);
-  }
-
-  std::vector<AggregateResult> groups(num_groups);
-  for (const std::vector<AggregateResult>& part : parts) {
-    for (int64_t g = 0; g < num_groups; ++g) {
-      MergeAggregate(&groups[g], part[g]);
-    }
-  }
-  for (AggregateResult& g : groups) FinalizeAggregate(&g, func);
+    const LockedShards& ls, const QueryRegion& region, int dim, int level,
+    AggregateFunc func) {
+  GroupByStats gstats;
+  IOLAP_ASSIGN_OR_RETURN(
+      std::vector<AggregateResult> groups,
+      groupby_->RollUp(CollectRanges(ls), region, dim, level, func, &gstats));
+  RecordScanStats(gstats);
   return groups;
+}
+
+void QueryService::RecordScanStats(const GroupByStats& gstats) {
+  if (partitions_counter_ != nullptr) partitions_counter_->Add(gstats.chunks);
+  if (scan_rows_histogram_ != nullptr) {
+    scan_rows_histogram_->Record(gstats.rows_scanned);
+  }
+  if (partitions_histogram_ != nullptr) {
+    partitions_histogram_->Record(gstats.chunks);
+  }
 }
 
 Result<AggregateResult> QueryService::Aggregate(const QueryRegion& region,
                                                 AggregateFunc func,
                                                 int64_t* generation,
-                                                bool* cache_hit) {
+                                                bool* cache_hit,
+                                                ShardSnapshot* shards) {
   TraceSpan span("serve.query");
   Stopwatch timer;
   if (queries_counter_ != nullptr) queries_counter_->Add(1);
-  std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
-  const int64_t gen = generation_.load(std::memory_order_acquire);
-  if (generation != nullptr) *generation = gen;
+  IOLAP_RETURN_IF_ERROR(EnsureShardsReady());
+  const auto record_time = [&] {
+    if (query_us_histogram_ != nullptr) {
+      query_us_histogram_->Record(
+          static_cast<int64_t>(timer.ElapsedSeconds() * 1e6));
+    }
+  };
+  const Rect rect = RegionToRect(*schema_, region);
+  LockedShards ls = AcquireShared(rect, shards);
+  if (generation != nullptr) *generation = ls.global_gen;
   if (cache_hit != nullptr) *cache_hit = false;
 
   AggregateCacheKey key;
@@ -228,10 +404,7 @@ Result<AggregateResult> QueryService::Aggregate(const QueryRegion& region,
     if (cache_->Lookup(key, &cached) && cached.size() == 1) {
       if (cache_hit != nullptr) *cache_hit = true;
       span.AddArg("cache_hit", 1);
-      if (query_us_histogram_ != nullptr) {
-        query_us_histogram_->Record(
-            static_cast<int64_t>(timer.ElapsedSeconds() * 1e6));
-      }
+      record_time();
       return cached[0];
     }
   }
@@ -252,27 +425,32 @@ Result<AggregateResult> QueryService::Aggregate(const QueryRegion& region,
     }
   }
   if (!answered) {
-    IOLAP_ASSIGN_OR_RETURN(out, ScanAggregate(region, func));
+    IOLAP_ASSIGN_OR_RETURN(out, ScanAggregate(ls, region, func));
   }
   if (cache_ != nullptr) {
-    cache_->Insert(key, RegionToRect(*schema_, region), {out}, gen);
+    cache_->Insert(key, rect, {out}, ls.global_gen,
+                   ShardMap::MaskOfRange(ls.first, ls.last));
   }
-  if (query_us_histogram_ != nullptr) {
-    query_us_histogram_->Record(
-        static_cast<int64_t>(timer.ElapsedSeconds() * 1e6));
-  }
+  record_time();
   return out;
 }
 
 Result<std::vector<AggregateResult>> QueryService::RollUp(
     const QueryRegion& region, int dim, int level, AggregateFunc func,
-    int64_t* generation, bool* cache_hit) {
+    int64_t* generation, bool* cache_hit, ShardSnapshot* shards) {
   TraceSpan span("serve.query");
   Stopwatch timer;
   if (queries_counter_ != nullptr) queries_counter_->Add(1);
-  std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
-  const int64_t gen = generation_.load(std::memory_order_acquire);
-  if (generation != nullptr) *generation = gen;
+  IOLAP_RETURN_IF_ERROR(EnsureShardsReady());
+  const auto record_time = [&] {
+    if (query_us_histogram_ != nullptr) {
+      query_us_histogram_->Record(
+          static_cast<int64_t>(timer.ElapsedSeconds() * 1e6));
+    }
+  };
+  const Rect rect = RegionToRect(*schema_, region);
+  LockedShards ls = AcquireShared(rect, shards);
+  if (generation != nullptr) *generation = ls.global_gen;
   if (cache_hit != nullptr) *cache_hit = false;
 
   AggregateCacheKey key;
@@ -282,10 +460,7 @@ Result<std::vector<AggregateResult>> QueryService::RollUp(
     if (cache_->Lookup(key, &cached)) {
       if (cache_hit != nullptr) *cache_hit = true;
       span.AddArg("cache_hit", 1);
-      if (query_us_histogram_ != nullptr) {
-        query_us_histogram_->Record(
-            static_cast<int64_t>(timer.ElapsedSeconds() * 1e6));
-      }
+      record_time();
       return cached;
     }
   }
@@ -305,15 +480,13 @@ Result<std::vector<AggregateResult>> QueryService::RollUp(
     }
   }
   if (!answered) {
-    IOLAP_ASSIGN_OR_RETURN(groups, ScanRollUp(region, dim, level, func));
+    IOLAP_ASSIGN_OR_RETURN(groups, ScanRollUp(ls, region, dim, level, func));
   }
   if (cache_ != nullptr) {
-    cache_->Insert(key, RegionToRect(*schema_, region), groups, gen);
+    cache_->Insert(key, rect, groups, ls.global_gen,
+                   ShardMap::MaskOfRange(ls.first, ls.last));
   }
-  if (query_us_histogram_ != nullptr) {
-    query_us_histogram_->Record(
-        static_cast<int64_t>(timer.ElapsedSeconds() * 1e6));
-  }
+  record_time();
   return groups;
 }
 
@@ -321,66 +494,103 @@ Result<std::vector<EdbRecord>> QueryService::CompletionsOf(
     FactId fact_id, int64_t* generation) {
   TraceSpan span("serve.query");
   if (queries_counter_ != nullptr) queries_counter_->Add(1);
-  std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
-  if (generation != nullptr) {
-    *generation = generation_.load(std::memory_order_acquire);
-  }
+  IOLAP_RETURN_IF_ERROR(EnsureShardsReady());
+  // A fact's completions can live anywhere: full-EDB scan, all shards.
+  const Rect all = RegionToRect(*schema_, QueryRegion::All());
+  LockedShards ls = AcquireShared(all, nullptr);
+  if (generation != nullptr) *generation = ls.global_gen;
   QueryEngine engine(env_, schema_, edb_);
   return engine.CompletionsOf(fact_id);
 }
 
 Result<AggregateResult> QueryService::UncachedAggregate(
-    const QueryRegion& region, AggregateFunc func, int64_t* generation) {
+    const QueryRegion& region, AggregateFunc func, int64_t* generation,
+    ShardSnapshot* shards) {
   TraceSpan span("serve.query");
   if (queries_counter_ != nullptr) queries_counter_->Add(1);
-  std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
-  if (generation != nullptr) {
-    *generation = generation_.load(std::memory_order_acquire);
-  }
-  return ScanAggregate(region, func);
+  IOLAP_RETURN_IF_ERROR(EnsureShardsReady());
+  const Rect rect = RegionToRect(*schema_, region);
+  LockedShards ls = AcquireShared(rect, shards);
+  if (generation != nullptr) *generation = ls.global_gen;
+  return ScanAggregate(ls, region, func);
 }
 
 Result<std::vector<AggregateResult>> QueryService::UncachedRollUp(
     const QueryRegion& region, int dim, int level, AggregateFunc func,
-    int64_t* generation) {
+    int64_t* generation, ShardSnapshot* shards) {
   TraceSpan span("serve.query");
   if (queries_counter_ != nullptr) queries_counter_->Add(1);
-  std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
-  if (generation != nullptr) {
-    *generation = generation_.load(std::memory_order_acquire);
-  }
-  return ScanRollUp(region, dim, level, func);
+  IOLAP_RETURN_IF_ERROR(EnsureShardsReady());
+  const Rect rect = RegionToRect(*schema_, region);
+  LockedShards ls = AcquireShared(rect, shards);
+  if (generation != nullptr) *generation = ls.global_gen;
+  return ScanRollUp(ls, region, dim, level, func);
 }
 
+// ---------------------------------------------------------------------------
+// Mutation paths.
+
 Status QueryService::MutateLocked(
-    MaintenanceStats* stats,
+    const std::vector<Rect>& rects, MaintenanceStats* stats,
     const std::function<Status(MaintenanceStats*)>& apply) {
   if (manager_ == nullptr) {
     return Status::FailedPrecondition(
         "QueryService is read-only (no MaintenanceManager)");
   }
+  IOLAP_RETURN_IF_ERROR(EnsureShardsReady());
   TraceSpan span("serve.commit");
-  std::unique_lock<std::shared_mutex> lock(snapshot_mu_);
+  std::lock_guard<std::mutex> mutation_lock(mutation_mu_);
+  const std::vector<int> touched = TouchedShards(rects);
+  std::vector<std::unique_lock<std::shared_mutex>> shard_locks;
+  shard_locks.reserve(touched.size());
+  for (int s : touched) shard_locks.emplace_back(shards_[s]->mu);
+  span.AddArg("shards_locked", static_cast<int64_t>(touched.size()));
+
+  const int64_t old_rows = edb_->size();
   MaintenanceStats local;
   MaintenanceStats* s = stats != nullptr ? stats : &local;
   // Stats may be reused across batches; only this batch's boxes matter.
   const size_t box_start = s->touched_boxes.size();
   Status status = apply(s);
+
+  if (shards_.size() > 1) {
+    // Re-derive the touched shards' row ranges even on failure — a failed
+    // batch may have partially applied inside them.
+    const Status ranges = RebuildTouchedLocked(touched, old_rows);
+    if (!ranges.ok()) {
+      // Ranges are unreliable now; force a full re-init (which excludes
+      // every query and mutator) on the next entry.
+      shards_ready_.store(false, std::memory_order_release);
+      if (status.ok()) status = ranges;
+    }
+  }
+
   // Bump even on failure: a failed batch may have partially applied, and a
   // stale generation must never look current.
-  const int64_t gen =
-      generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  const int64_t gen = generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
   if (generation_gauge_ != nullptr) generation_gauge_->Set(gen);
   if (mutations_counter_ != nullptr) mutations_counter_->Add(1);
+  for (int si : touched) {
+    Shard& shard = *shards_[si];
+    const int64_t sg = shard.gen.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (shard.gen_gauge != nullptr) shard.gen_gauge->Set(sg);
+    if (shard.mutations != nullptr) shard.mutations->Add(1);
+  }
+
   if (cache_ != nullptr) {
+    int64_t dropped = 0;
     if (!status.ok()) {
-      cache_->Clear();
+      // The batch can only have written inside the shards it locked: drop
+      // exactly the entries that read those shards, keep the rest.
+      uint64_t mask = 0;
+      for (int si : touched) mask |= uint64_t{1} << si;
+      dropped = cache_->InvalidateShards(mask);
     } else {
-      const int64_t dropped = cache_->Invalidate(
-          s->touched_boxes.data() + box_start,
-          s->touched_boxes.size() - box_start, schema_->num_dims());
-      span.AddArg("invalidated_entries", dropped);
+      dropped = cache_->Invalidate(s->touched_boxes.data() + box_start,
+                                   s->touched_boxes.size() - box_start,
+                                   schema_->num_dims());
     }
+    span.AddArg("invalidated_entries", dropped);
   }
   if (agg_index_ != nullptr) {
     if (status.ok()) {
@@ -390,6 +600,13 @@ Status QueryService::MutateLocked(
           agg_index_->Commit(s->touched_boxes.data() + box_start,
                              s->touched_boxes.size() - box_start);
       if (!committed.ok()) agg_index_->Invalidate();
+      if (shards_.size() > 1) {
+        // Query-path rebuilds are gated off in sharded mode; if the commit
+        // left the index stale, bring it back here while mutation_mu_
+        // still excludes every other writer (concurrent readers are safe).
+        const Status rebuilt = agg_index_->RebuildIfStale();
+        (void)rebuilt;  // failure: queries keep falling back to scans
+      }
     } else {
       agg_index_->Invalidate();
     }
@@ -399,21 +616,36 @@ Status QueryService::MutateLocked(
 
 Status QueryService::ApplyUpdates(const std::vector<FactUpdate>& updates,
                                   MaintenanceStats* stats) {
-  return MutateLocked(stats, [this, &updates](MaintenanceStats* s) {
+  std::vector<Rect> rects;
+  rects.reserve(updates.size());
+  for (const FactUpdate& u : updates) {
+    rects.push_back(FactRegionToRect(*schema_, u.before));
+  }
+  return MutateLocked(rects, stats, [this, &updates](MaintenanceStats* s) {
     return manager_->ApplyUpdates(updates, s);
   });
 }
 
 Status QueryService::InsertFacts(const std::vector<FactRecord>& inserts,
                                  MaintenanceStats* stats) {
-  return MutateLocked(stats, [this, &inserts](MaintenanceStats* s) {
+  std::vector<Rect> rects;
+  rects.reserve(inserts.size());
+  for (const FactRecord& f : inserts) {
+    rects.push_back(FactRegionToRect(*schema_, f));
+  }
+  return MutateLocked(rects, stats, [this, &inserts](MaintenanceStats* s) {
     return manager_->InsertFacts(inserts, s);
   });
 }
 
 Status QueryService::DeleteFacts(const std::vector<FactRecord>& deletes,
                                  MaintenanceStats* stats) {
-  return MutateLocked(stats, [this, &deletes](MaintenanceStats* s) {
+  std::vector<Rect> rects;
+  rects.reserve(deletes.size());
+  for (const FactRecord& f : deletes) {
+    rects.push_back(FactRegionToRect(*schema_, f));
+  }
+  return MutateLocked(rects, stats, [this, &deletes](MaintenanceStats* s) {
     return manager_->DeleteFacts(deletes, s);
   });
 }
@@ -423,8 +655,13 @@ Result<int64_t> QueryService::Compact() {
     return Status::FailedPrecondition(
         "QueryService is read-only (no MaintenanceManager)");
   }
+  IOLAP_RETURN_IF_ERROR(EnsureShardsReady());
   TraceSpan span("serve.commit");
-  std::unique_lock<std::shared_mutex> lock(snapshot_mu_);
+  std::lock_guard<std::mutex> mutation_lock(mutation_mu_);
+  // Compaction rewrites every row position: every shard is locked.
+  std::vector<std::unique_lock<std::shared_mutex>> shard_locks;
+  shard_locks.reserve(shards_.size());
+  for (auto& shard : shards_) shard_locks.emplace_back(shard->mu);
   Result<int64_t> removed = manager_->CompactEdb();
   if (!removed.ok()) {
     // The rewrite may have partially applied; drop everything and force a
@@ -434,6 +671,21 @@ Result<int64_t> QueryService::Compact() {
     const int64_t gen =
         generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
     if (generation_gauge_ != nullptr) generation_gauge_->Set(gen);
+    for (auto& shard : shards_) {
+      const int64_t sg = shard->gen.fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (shard->gen_gauge != nullptr) shard->gen_gauge->Set(sg);
+    }
+  }
+  if (shards_.size() > 1) {
+    // Row positions changed wholesale (success or partial failure):
+    // rebuild every shard's ranges from one scan.
+    for (auto& shard : shards_) shard->ranges.clear();
+    int prev_shard = 0;
+    const Status ranges = AppendRangesFromScan(0, edb_->size(), &prev_shard);
+    if (!ranges.ok()) {
+      shards_ready_.store(false, std::memory_order_release);
+      if (removed.ok()) return ranges;
+    }
   }
   // On success the logical EDB content is unchanged (only tombstones were
   // squeezed out), so cached results (and the index, which is keyed by

@@ -3,7 +3,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <vector>
 
@@ -13,17 +15,21 @@
 #include "edb/query.h"
 #include "exec/thread_pool.h"
 #include "serve/aggregate_cache.h"
+#include "serve/groupby.h"
+#include "serve/shard_map.h"
 #include "storage/storage_env.h"
 
 namespace iolap {
 
 struct ServeOptions {
-  /// Worker threads for partitioned scans. 1 = scan inline on the calling
-  /// thread (no pool).
+  /// Worker threads for parallel group-by scans. 1 = scan inline on the
+  /// calling thread (no pool).
   int num_threads = 1;
-  /// A scan is split into at most num_threads partitions, but never into
-  /// partitions smaller than this many EDB rows — partitioning a tiny EDB
-  /// buys nothing and costs task dispatch.
+  /// Unit of the group-by engine's fixed chunk grid (snapped up to whole
+  /// EDB pages): scans split into grid chunks of this many rows, never
+  /// smaller — partitioning a tiny EDB buys nothing and costs task
+  /// dispatch. Part of the determinism contract: answers are byte-stable
+  /// only across configurations sharing this value.
   int64_t min_partition_rows = 4096;
   /// Aggregate-cache capacity in result slots (a point aggregate costs 1
   /// slot, a rollup one slot per group). 0 disables caching entirely.
@@ -33,6 +39,22 @@ struct ServeOptions {
   /// EDB; in maintained mode the index is kept incrementally consistent
   /// from the same touched_boxes that drive cache invalidation.
   bool agg_index = false;
+  /// Shards to partition the EDB into (clamped to [1, kMaxShards] and to
+  /// what the component layout allows — see ShardMap). 1 keeps the classic
+  /// single snapshot lock. More shards let maintenance on one shard run
+  /// concurrently with queries (and maintenance) on others.
+  int num_shards = 1;
+  /// Rollup group counts strictly above this use the radix-partitioned
+  /// group-by variant (see GroupByOptions::radix_min_groups).
+  int64_t radix_min_groups = 4096;
+};
+
+/// Per-shard generations pinned by one query: shard `first_shard + i` was
+/// at `generations[i]` for the whole query. The multi-shard analogue of the
+/// global generation out-param.
+struct ShardSnapshot {
+  int first_shard = 0;
+  std::vector<int64_t> generations;
 };
 
 /// Concurrent query-serving front end over the Extended Database.
@@ -40,28 +62,39 @@ struct ServeOptions {
 /// Answer tiers (each one falls through to the next): the AggregateCache
 /// (exact region+function hit, no I/O), then — with `agg_index` on — the
 /// hierarchical aggregate index (a few node pages instead of an EDB scan),
-/// then the partitioned EDB scan. The scan stays the oracle: Uncached*
-/// never consults the cache or the index.
+/// then the parallel group-by scan (serve/groupby.h). The scan stays the
+/// oracle: Uncached* never consults the cache or the index.
 ///
-/// Concurrency model (the generation/snapshot contract):
-///  * Every query runs under a shared lock and *pins the generation it
-///    started on*: maintenance commits take the lock exclusively, so a
-///    query observes either all of a maintenance batch or none of it —
-///    never a half-applied rewrite.
-///  * Each committed batch bumps the generation and selectively
-///    invalidates cached results whose region intersects the batch's
-///    touched component bounding boxes (MaintenanceStats::touched_boxes).
-///    Any cache entry still present is therefore valid for the current
-///    generation, and a hit can be returned without touching the EDB.
-///  * Scans partition the EDB into page-aligned ranges executed on an
-///    internal ThreadPool and merged in partition order, so a result is
-///    deterministic for a fixed partition count.
+/// Concurrency model (the sharded snapshot contract):
+///  * The leaf space is statically partitioned into shards along
+///    component-aligned dimension-0 leaf ranges (serve/shard_map.h); each
+///    shard has its own shared_mutex, atomic generation, and list of EDB
+///    row ranges. A query shared-locks exactly the shards its region
+///    intersects, in ascending order, and *pins their generations*; a
+///    maintenance batch exclusively locks the shards it can touch (its
+///    fact rects plus every alive component they overlap — conservative,
+///    computed before applying), also in ascending order. A query
+///    therefore observes all of a batch or none of it on every shard it
+///    reads, and maintenance on one shard never blocks queries on others.
+///  * Each committed batch bumps the global generation and the touched
+///    shards' generations, and selectively invalidates cached results
+///    whose region intersects the batch's touched component bounding
+///    boxes (MaintenanceStats::touched_boxes). A *failed* batch drops only
+///    the cache entries that read the batch's shards (the batch cannot
+///    have written a byte outside them) and bumps those shards anyway, so
+///    no stale entry can ever be served.
+///  * Scans run on the group-by engine's fixed chunk grid; results are
+///    byte-identical across thread counts AND shard counts (see
+///    GroupByEngine), and 1e-9-equal to the serial QueryEngine.
+///
+/// With num_shards == 1 all of this degenerates to the classic single
+/// snapshot lock + global generation.
 ///
 /// Two modes:
 ///  * maintained — constructed over a MaintenanceManager; mutations route
 ///    through the service and invalidate selectively.
-///  * read-only — constructed over a static EDB file; the generation stays
-///    0 and mutation calls fail with kFailedPrecondition.
+///  * read-only — constructed over a static EDB file; generations stay 0
+///    and mutation calls fail with kFailedPrecondition.
 class QueryService {
  public:
   /// Serves `manager`'s EDB; mutations go through the service.
@@ -76,12 +109,14 @@ class QueryService {
   ~QueryService();
 
   /// Allocation-weighted aggregate over `region`, served from the cache
-  /// when possible. Outputs the pinned generation and whether the answer
-  /// came from the cache (both optional).
+  /// when possible. Outputs the pinned global generation, whether the
+  /// answer came from the cache, and the pinned per-shard generations (all
+  /// optional).
   Result<AggregateResult> Aggregate(const QueryRegion& region,
                                     AggregateFunc func,
                                     int64_t* generation = nullptr,
-                                    bool* cache_hit = nullptr);
+                                    bool* cache_hit = nullptr,
+                                    ShardSnapshot* shards = nullptr);
 
   /// Cached rollup (one aggregate per node of `dim` at `level`, restricted
   /// to `region`), indexed by node ordinal.
@@ -89,27 +124,31 @@ class QueryService {
                                               int dim, int level,
                                               AggregateFunc func,
                                               int64_t* generation = nullptr,
-                                              bool* cache_hit = nullptr);
+                                              bool* cache_hit = nullptr,
+                                              ShardSnapshot* shards = nullptr);
 
   /// Provenance: a fact's completions with their allocation weights.
-  /// Uncached (point lookups don't amortize), but snapshot-consistent.
+  /// Uncached (point lookups don't amortize), but snapshot-consistent: it
+  /// scans the whole EDB, so it locks every shard.
   Result<std::vector<EdbRecord>> CompletionsOf(FactId fact_id,
                                                int64_t* generation = nullptr);
 
   /// Rescans the EDB, bypassing the cache in both directions (no lookup,
   /// no insert). The verification and cold-scan baseline: a cached answer
-  /// must equal this at the same generation.
+  /// must equal this at the same (shard) generations.
   Result<AggregateResult> UncachedAggregate(const QueryRegion& region,
                                             AggregateFunc func,
-                                            int64_t* generation = nullptr);
+                                            int64_t* generation = nullptr,
+                                            ShardSnapshot* shards = nullptr);
   Result<std::vector<AggregateResult>> UncachedRollUp(
       const QueryRegion& region, int dim, int level, AggregateFunc func,
-      int64_t* generation = nullptr);
+      int64_t* generation = nullptr, ShardSnapshot* shards = nullptr);
 
-  /// Mutations (maintained mode only). Applied under the exclusive lock;
-  /// on success the generation is bumped and intersecting cache entries
-  /// dropped. On failure the cache is cleared wholesale (the batch may
-  /// have partially applied) and the generation is bumped anyway, so no
+  /// Mutations (maintained mode only). Applied under exclusive locks on
+  /// the touched shards; on success their generations are bumped and
+  /// intersecting cache entries dropped. On failure the cache drop is
+  /// scoped to the touched shards (the batch may have partially applied,
+  /// but only inside them) and the generations are bumped anyway, so no
   /// stale entry can ever be served.
   Status ApplyUpdates(const std::vector<FactUpdate>& updates,
                       MaintenanceStats* stats = nullptr);
@@ -120,12 +159,20 @@ class QueryService {
 
   /// Compacts tombstones out of the EDB (maintained mode only). Logical
   /// content is unchanged, so cached results stay valid and the
-  /// generation does not move.
+  /// generation does not move; row positions do change, so every shard is
+  /// locked and the per-shard row ranges are rebuilt.
   Result<int64_t> Compact();
 
   int64_t generation() const {
     return generation_.load(std::memory_order_acquire);
   }
+  /// Shard geometry and per-shard generations. Valid once construction
+  /// succeeded (the shard map is built eagerly from one EDB scan).
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int64_t shard_generation(int s) const {
+    return shards_[s]->gen.load(std::memory_order_acquire);
+  }
+  const ShardMap& shard_map() const { return shard_map_; }
   /// Null when options.cache_slots == 0.
   AggregateCache* cache() { return cache_.get(); }
   /// Null when options.agg_index is false.
@@ -133,29 +180,83 @@ class QueryService {
   const StarSchema& schema() const { return *schema_; }
 
  private:
-  Status MutateLocked(MaintenanceStats* stats,
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::atomic<int64_t> gen{0};
+    /// Sorted, disjoint EDB row ranges owned by this shard (by dimension-0
+    /// leaf; tombstones stay with the run they interrupt). Guarded by mu.
+    /// Unused in single-shard mode, where the whole EDB is the range.
+    std::vector<RowRange> ranges;
+    // Cached per-shard metric handles (null when observability is off).
+    class Counter* queries = nullptr;
+    class Counter* mutations = nullptr;
+    class Gauge* gen_gauge = nullptr;
+  };
+
+  /// RAII shared locks over a contiguous ascending shard range, plus the
+  /// generations pinned under them.
+  struct LockedShards {
+    std::vector<std::shared_lock<std::shared_mutex>> locks;
+    int first = 0;
+    int last = 0;
+    int64_t global_gen = 0;
+  };
+
+  /// Lazily (re)builds shard state; cheap no-op once ready. Every public
+  /// entry point calls this first, so no query or mutation can run while
+  /// shard ranges are being (re)built.
+  Status EnsureShardsReady();
+  Status InitShardsLocked();
+  void MakeShards(int num_shards);
+  void RecordScanStats(const GroupByStats& gstats);
+  /// Scans rows [begin, end) and appends shard-runs to the shards' range
+  /// lists by dimension-0 leaf. Caller holds exclusive locks on every
+  /// shard the scanned rows can map to. `prev_shard` carries the
+  /// tombstone-attachment run state across calls.
+  Status AppendRangesFromScan(int64_t begin, int64_t end, int* prev_shard);
+  /// Re-derives the range lists of `touched` shards after a batch: rescans
+  /// their old ranges plus the appended tail [old_rows, size).
+  Status RebuildTouchedLocked(const std::vector<int>& touched,
+                              int64_t old_rows);
+  /// Conservative pre-computation of the shards a batch can write: the
+  /// shards of its fact rects plus those of every alive component the
+  /// rects overlap. Empty `rects` (or single-shard mode) locks everything.
+  std::vector<int> TouchedShards(const std::vector<Rect>& rects) const;
+
+  LockedShards AcquireShared(const Rect& rect, ShardSnapshot* snapshot);
+  /// Merged row ranges of the locked shards; caller holds their locks.
+  std::vector<RowRange> CollectRanges(const LockedShards& ls) const;
+
+  Status MutateLocked(const std::vector<Rect>& rects, MaintenanceStats* stats,
                       const std::function<Status(MaintenanceStats*)>& apply);
 
-  /// Partitioned scans; caller must hold the shared lock.
-  Result<AggregateResult> ScanAggregate(const QueryRegion& region,
+  Result<AggregateResult> ScanAggregate(const LockedShards& ls,
+                                        const QueryRegion& region,
                                         AggregateFunc func);
-  Result<std::vector<AggregateResult>> ScanRollUp(const QueryRegion& region,
+  Result<std::vector<AggregateResult>> ScanRollUp(const LockedShards& ls,
+                                                  const QueryRegion& region,
                                                   int dim, int level,
                                                   AggregateFunc func);
-  int PartitionCount(int64_t rows) const;
 
   StorageEnv* env_;
   const StarSchema* schema_;
   const TypedFile<EdbRecord>* edb_;
   MaintenanceManager* manager_;  // null in read-only mode
   ServeOptions options_;
-  std::unique_ptr<ThreadPool> pool_;     // null when num_threads <= 1
+  std::unique_ptr<ThreadPool> pool_;       // null when num_threads <= 1
   std::unique_ptr<AggregateCache> cache_;  // null when cache_slots <= 0
   std::unique_ptr<AggIndex> agg_index_;    // null when !options.agg_index
+  std::unique_ptr<GroupByEngine> groupby_;
 
-  /// Readers shared, maintenance exclusive; acquired before the cache
-  /// mutex, never after it.
-  std::shared_mutex snapshot_mu_;
+  /// Lock order: init_mu_ -> mutation_mu_ -> shard locks (ascending) ->
+  /// cache / index internal mutexes. Queries take only shard locks (shared,
+  /// ascending) and then cache/index mutexes.
+  std::mutex init_mu_;
+  std::atomic<bool> shards_ready_{false};
+  std::mutex mutation_mu_;  // serializes mutators across shard sets
+
+  ShardMap shard_map_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<int64_t> generation_{0};
 
   // Cached global-metrics handles (null when observability is disabled).
@@ -165,7 +266,10 @@ class QueryService {
   class Counter* index_answers_counter_;
   class Counter* index_fallbacks_counter_;
   class Gauge* generation_gauge_;
+  class Gauge* shards_gauge_;
   class Histogram* query_us_histogram_;
+  class Histogram* scan_rows_histogram_;
+  class Histogram* partitions_histogram_;
 };
 
 }  // namespace iolap

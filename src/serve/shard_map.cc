@@ -1,0 +1,95 @@
+#include "serve/shard_map.h"
+
+#include <algorithm>
+
+namespace iolap {
+
+int ShardMap::ShardOfLeaf(int32_t leaf0) const {
+  const int32_t clamped =
+      std::clamp(leaf0, int32_t{0}, std::max(int32_t{0}, begins_.back() - 1));
+  // begins_ is sorted; the owner is the last shard starting at or before the
+  // leaf.
+  auto it = std::upper_bound(begins_.begin(), begins_.end() - 1, clamped);
+  return static_cast<int>(it - begins_.begin()) - 1;
+}
+
+ShardMap ShardMap::Build(const StarSchema& schema, int requested_shards,
+                         const std::vector<Rect>& component_boxes,
+                         const std::vector<int64_t>& leaf_rows) {
+  const int32_t num_leaves = schema.dim(0).num_leaves();
+  const int want = std::clamp(requested_shards, 1, kMaxShards);
+
+  // Merge overlapping component dim-0 extents into indivisible atoms; a
+  // boundary may only fall between atoms. Leaves not covered by any
+  // component are single-leaf atoms.
+  std::vector<std::pair<int32_t, int32_t>> extents;  // [lo, hi] inclusive
+  extents.reserve(component_boxes.size());
+  for (const Rect& box : component_boxes) {
+    const int32_t lo = std::clamp(box.lo[0], int32_t{0}, num_leaves - 1);
+    const int32_t hi = std::clamp(box.hi[0], lo, num_leaves - 1);
+    extents.emplace_back(lo, hi);
+  }
+  std::sort(extents.begin(), extents.end());
+  std::vector<int32_t> cut_ok;  // leaf positions where a boundary may start
+  cut_ok.reserve(num_leaves);
+  {
+    int32_t pos = 0;
+    size_t e = 0;
+    while (pos < num_leaves) {
+      cut_ok.push_back(pos);
+      // Extend over every extent overlapping [pos, end): the atom ends only
+      // once no component straddles its right edge.
+      int32_t end = pos + 1;
+      while (e < extents.size() && extents[e].first < end) {
+        end = std::max(end, extents[e].second + 1);
+        ++e;
+      }
+      pos = end;
+    }
+  }
+
+  ShardMap map;
+  map.begins_.clear();
+  const int64_t atoms = static_cast<int64_t>(cut_ok.size());
+  const int shards = static_cast<int>(std::min<int64_t>(want, atoms));
+
+  // Per-atom row weight from the leaf histogram (uniform when absent), then
+  // greedy packing toward total/shards per shard. Greedy on a fixed atom
+  // order with a fixed target is deterministic.
+  std::vector<int64_t> atom_rows(atoms, 0);
+  int64_t total = 0;
+  for (int64_t a = 0; a < atoms; ++a) {
+    const int32_t lo = cut_ok[a];
+    const int32_t hi = a + 1 < atoms ? cut_ok[a + 1] : num_leaves;
+    if (leaf_rows.empty()) {
+      atom_rows[a] = hi - lo;
+    } else {
+      for (int32_t l = lo; l < hi && l < static_cast<int32_t>(leaf_rows.size());
+           ++l) {
+        atom_rows[a] += leaf_rows[l];
+      }
+    }
+    total += atom_rows[a];
+  }
+
+  map.begins_.push_back(0);
+  int64_t cum = 0;
+  int64_t a = 0;
+  for (int s = 0; s < shards - 1; ++s) {
+    // Advance to the s-th cumulative row target, taking at least one atom
+    // per shard and leaving enough atoms for the remaining shards.
+    const int64_t target = ((s + 1) * total) / shards;
+    const int64_t must_leave = shards - s - 1;
+    int64_t taken = 0;
+    while (a < atoms - must_leave && (taken == 0 || cum < target)) {
+      cum += atom_rows[a];
+      ++a;
+      ++taken;
+    }
+    map.begins_.push_back(cut_ok[a]);
+  }
+  map.begins_.push_back(num_leaves);
+  return map;
+}
+
+}  // namespace iolap

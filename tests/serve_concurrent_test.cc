@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <map>
 #include <thread>
 #include <vector>
@@ -163,6 +164,330 @@ TEST(ServeConcurrentTest, QueriesMatchSerialRescanAtPinnedGeneration) {
   // The workload re-asks the same probes between commits, so the cache must
   // have served some of it.
   EXPECT_GT(service.cache()->stats().hits, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded serving.
+
+StarSchema MakeShardedSchema() {
+  std::vector<Hierarchy> dims;
+  const std::vector<std::vector<int>> shapes = {{8, 4}, {4, 4}, {4, 2}};
+  for (size_t d = 0; d < shapes.size(); ++d) {
+    auto h = HierarchyBuilder::Uniform("D" + std::to_string(d), shapes[d]);
+    EXPECT_TRUE(h.ok());
+    dims.push_back(std::move(h).value());
+  }
+  auto schema = StarSchema::Create(std::move(dims));
+  EXPECT_TRUE(schema.ok());
+  return std::move(schema).value();
+}
+
+bool IsFullyPrecise(const StarSchema& schema, const FactRecord& f) {
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    const Hierarchy& h = schema.dim(d);
+    if (h.leaf_end(f.node[d]) - h.leaf_begin(f.node[d]) != 1) return false;
+  }
+  return true;
+}
+
+// Per-shard torture: one mutator thread per (distinct) shard streams
+// single-shard batches while query threads probe single-leaf regions of
+// every shard. Every answer must equal a serial rescan at the *shard*
+// generation the query pinned, and shards nobody mutates must never move —
+// the per-shard analogue of the global snapshot contract above.
+TEST(ServeConcurrentTest, ShardedTortureMatchesRescanAtPinnedShardGeneration) {
+  StorageEnv env(MakeTempDir(), 512);
+  StarSchema schema = MakeShardedSchema();
+  DatasetSpec spec;
+  spec.num_facts = 500;
+  spec.imprecise_fraction = 0.30;
+  spec.seed = 21;
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto file, GenerateFacts(env, schema, spec));
+  std::vector<FactRecord> facts;
+  {
+    auto cursor = file.Scan(env.pool());
+    FactRecord f;
+    while (!cursor.done()) {
+      IOLAP_ASSERT_OK(cursor.Next(&f));
+      facts.push_back(f);
+    }
+  }
+  AllocationOptions options;
+  options.policy = PolicyKind::kUniform;
+  IOLAP_ASSERT_OK_AND_ASSIGN(
+      auto manager, MaintenanceManager::Build(env, schema, &file, options));
+
+  ServeOptions opts;
+  opts.num_threads = 2;
+  opts.min_partition_rows = 1;  // snapped to one page: many small chunks
+  opts.cache_slots = 128;
+  opts.num_shards = 8;
+  QueryService service(manager.get(), opts);
+  ASSERT_GE(service.num_shards(), 2)
+      << "component layout collapsed to one atom; pick another seed";
+  const ShardMap& map = service.shard_map();
+  const Hierarchy& h0 = schema.dim(0);
+  EXPECT_EQ(map.shard_begin(0), 0);
+  EXPECT_EQ(map.shard_end(service.num_shards() - 1), h0.num_leaves());
+
+  // One probe per dimension-0 leaf node: each pins exactly one shard, and
+  // together they partition every live row.
+  std::vector<QueryRegion> probes;
+  std::vector<int> probe_shard;
+  for (NodeId node : h0.nodes_at_level(1)) {
+    probes.push_back(QueryRegion::All().With(0, node));
+    probe_shard.push_back(map.ShardOfLeaf(h0.leaf_begin(node)));
+  }
+
+  // The serial reference at shard generation 0, before any mutation.
+  std::vector<double> expected0(probes.size());
+  for (size_t p = 0; p < probes.size(); ++p) {
+    IOLAP_ASSERT_OK_AND_ASSIGN(
+        AggregateResult r,
+        service.UncachedAggregate(probes[p], AggregateFunc::kSum));
+    expected0[p] = r.value;
+  }
+
+  // Mutators own distinct shards via fully precise facts: a precise fact's
+  // rect is one cell, and every component overlapping that cell lies in the
+  // cell's shard (boundaries are component-aligned), so each batch locks
+  // and bumps exactly its own shard.
+  struct Owned {
+    int shard = 0;
+    size_t fact = 0;
+  };
+  std::vector<Owned> owned;
+  std::vector<bool> shard_taken(service.num_shards(), false);
+  for (size_t i = 0; i < facts.size() && owned.size() < 3; ++i) {
+    if (!IsFullyPrecise(schema, facts[i])) continue;
+    const int s = map.ShardOfLeaf(h0.leaf_begin(facts[i].node[0]));
+    if (shard_taken[s]) continue;
+    shard_taken[s] = true;
+    owned.push_back(Owned{s, i});
+  }
+  ASSERT_GE(owned.size(), 2u);
+
+  constexpr int kRounds = 5;
+  // expected[m]: shard owned[m].shard's serial reference, keyed by that
+  // shard's generation; written only by mutator m, read after the joins.
+  std::vector<std::map<int64_t, std::vector<double>>> expected(owned.size());
+  std::vector<Status> mutation_status(owned.size(), Status::Ok());
+  std::vector<std::thread> mutators;
+  for (size_t m = 0; m < owned.size(); ++m) {
+    mutators.emplace_back([&, m] {
+      const Owned& own = owned[m];
+      FactRecord before = facts[own.fact];
+      for (int round = 0; round < kRounds; ++round) {
+        const double next = before.measure + 25 + round;
+        Status s = service.ApplyUpdates({FactUpdate{before, next}});
+        if (!s.ok()) {
+          mutation_status[m] = s;
+          return;
+        }
+        before.measure = next;
+        // Re-derive this shard's probes at the generation the rescan pins
+        // (stable: this thread is the only mutator of this shard).
+        std::vector<double> values(probes.size(), 0);
+        int64_t gen = -1;
+        for (size_t p = 0; p < probes.size(); ++p) {
+          if (probe_shard[p] != own.shard) continue;
+          ShardSnapshot snap;
+          auto r = service.UncachedAggregate(probes[p], AggregateFunc::kSum,
+                                             nullptr, &snap);
+          if (!r.ok()) {
+            mutation_status[m] = r.status();
+            return;
+          }
+          if (snap.generations.size() != 1) {
+            mutation_status[m] = Status::Internal("probe spans shards");
+            return;
+          }
+          gen = snap.generations[0];
+          values[p] = r->value;
+        }
+        expected[m][gen] = std::move(values);
+      }
+    });
+  }
+
+  constexpr int kQueryThreads = 4;
+  constexpr int kQueriesPerThread = 60;
+  struct ShardObservation {
+    size_t probe = 0;
+    int shard = 0;
+    int64_t shard_gen = 0;
+    double value = 0;
+    bool ok = false;
+    bool snap_ok = false;
+  };
+  std::vector<std::vector<ShardObservation>> observed(kQueryThreads);
+  std::vector<std::thread> queriers;
+  for (int t = 0; t < kQueryThreads; ++t) {
+    queriers.emplace_back([&, t] {
+      std::vector<ShardObservation>& log = observed[t];
+      log.reserve(kQueriesPerThread);
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        ShardObservation obs;
+        obs.probe = static_cast<size_t>(t * 17 + i * 5) % probes.size();
+        ShardSnapshot snap;
+        Result<AggregateResult> r = service.Aggregate(
+            probes[obs.probe], AggregateFunc::kSum, nullptr, nullptr, &snap);
+        obs.ok = r.ok();
+        obs.snap_ok = snap.generations.size() == 1 &&
+                      snap.first_shard == probe_shard[obs.probe];
+        if (!snap.generations.empty()) obs.shard_gen = snap.generations[0];
+        obs.shard = probe_shard[obs.probe];
+        if (r.ok()) obs.value = r->value;
+        log.push_back(obs);
+      }
+    });
+  }
+  for (std::thread& t : queriers) t.join();
+  for (std::thread& t : mutators) t.join();
+  for (size_t m = 0; m < owned.size(); ++m) IOLAP_ASSERT_OK(mutation_status[m]);
+
+  // Shards no mutator owns must never have moved.
+  for (int s = 0; s < service.num_shards(); ++s) {
+    if (!shard_taken[s]) {
+      EXPECT_EQ(service.shard_generation(s), 0) << s;
+    }
+  }
+  // Every observation matches the serial rescan at its pinned shard
+  // generation.
+  std::vector<int> mutator_of_shard(service.num_shards(), -1);
+  for (size_t m = 0; m < owned.size(); ++m) {
+    mutator_of_shard[owned[m].shard] = static_cast<int>(m);
+  }
+  for (int t = 0; t < kQueryThreads; ++t) {
+    for (const ShardObservation& obs : observed[t]) {
+      ASSERT_TRUE(obs.ok);
+      ASSERT_TRUE(obs.snap_ok);
+      const int m = mutator_of_shard[obs.shard];
+      if (obs.shard_gen == 0) {
+        EXPECT_NEAR(obs.value, expected0[obs.probe], 1e-9)
+            << "probe " << obs.probe << " at shard generation 0";
+        continue;
+      }
+      ASSERT_GE(m, 0) << "unmutated shard " << obs.shard
+                      << " advanced to generation " << obs.shard_gen;
+      auto it = expected[m].find(obs.shard_gen);
+      ASSERT_NE(it, expected[m].end())
+          << "query pinned unknown shard generation " << obs.shard_gen;
+      EXPECT_NEAR(obs.value, it->second[obs.probe], 1e-9)
+          << "thread " << t << " probe " << obs.probe << " shard "
+          << obs.shard << " generation " << obs.shard_gen;
+    }
+  }
+}
+
+// Determinism across configurations: for a fixed chunk grid the service's
+// answers must be byte-identical across shard counts {1, 2, 8} x thread
+// counts {1, 4}, for both group-by variants, and 1e-9-equal to the serial
+// QueryEngine oracle.
+TEST(ServeConcurrentTest, AnswersBitwiseIdenticalAcrossShardsAndThreads) {
+  StorageEnv env(MakeTempDir(), 512);
+  StarSchema schema = MakeShardedSchema();
+  DatasetSpec spec;
+  spec.num_facts = 400;
+  spec.imprecise_fraction = 0.35;
+  spec.seed = 7;
+  IOLAP_ASSERT_OK_AND_ASSIGN(auto file, GenerateFacts(env, schema, spec));
+  AllocationOptions options;
+  options.policy = PolicyKind::kUniform;
+  IOLAP_ASSERT_OK_AND_ASSIGN(
+      auto manager, MaintenanceManager::Build(env, schema, &file, options));
+
+  // The probe workload: point aggregates over every function, per-node
+  // slices, and rollups at both hierarchy levels.
+  struct RollProbe {
+    QueryRegion region;
+    int dim;
+    int level;
+    AggregateFunc func;
+  };
+  std::vector<Probe> point_probes;
+  for (AggregateFunc f :
+       {AggregateFunc::kSum, AggregateFunc::kCount, AggregateFunc::kAverage,
+        AggregateFunc::kMin, AggregateFunc::kMax}) {
+    point_probes.push_back({QueryRegion::All(), f});
+  }
+  for (NodeId node : schema.dim(0).nodes_at_level(2)) {
+    point_probes.push_back(
+        {QueryRegion::All().With(0, node), AggregateFunc::kSum});
+  }
+  const NodeId slice = schema.dim(1).nodes_at_level(2)[1];
+  std::vector<RollProbe> roll_probes = {
+      {QueryRegion::All(), 0, 1, AggregateFunc::kSum},
+      {QueryRegion::All(), 0, 2, AggregateFunc::kAverage},
+      {QueryRegion::All().With(1, slice), 2, 1, AggregateFunc::kSum},
+  };
+
+  auto run_probes =
+      [&](QueryService& service) -> Result<std::vector<AggregateResult>> {
+    std::vector<AggregateResult> out;
+    for (const Probe& p : point_probes) {
+      IOLAP_ASSIGN_OR_RETURN(AggregateResult r,
+                             service.UncachedAggregate(p.region, p.func));
+      out.push_back(r);
+    }
+    for (const RollProbe& p : roll_probes) {
+      IOLAP_ASSIGN_OR_RETURN(
+          std::vector<AggregateResult> groups,
+          service.UncachedRollUp(p.region, p.dim, p.level, p.func));
+      out.insert(out.end(), groups.begin(), groups.end());
+    }
+    return out;
+  };
+
+  // The serial oracle.
+  QueryEngine engine(&env, &schema, &manager->edb());
+  std::vector<AggregateResult> oracle;
+  for (const Probe& p : point_probes) {
+    IOLAP_ASSERT_OK_AND_ASSIGN(AggregateResult r,
+                               engine.Aggregate(p.region, p.func));
+    oracle.push_back(r);
+  }
+  for (const RollProbe& p : roll_probes) {
+    IOLAP_ASSERT_OK_AND_ASSIGN(
+        std::vector<AggregateResult> groups,
+        engine.RollUp(p.region, p.dim, p.level, p.func));
+    oracle.insert(oracle.end(), groups.begin(), groups.end());
+  }
+
+  // radix_min_groups = 4096 keeps every rollup on the local variant;
+  // radix_min_groups = 1 forces them all onto the radix variant. Selection
+  // is query-intrinsic, so each sweep is internally comparable.
+  for (const int64_t radix_min_groups : {int64_t{4096}, int64_t{1}}) {
+    std::vector<AggregateResult> baseline;
+    for (const int num_shards : {1, 2, 8}) {
+      for (const int num_threads : {1, 4}) {
+        ServeOptions opts;
+        opts.num_threads = num_threads;
+        opts.min_partition_rows = 1;  // one page per chunk: max parallelism
+        opts.cache_slots = 0;         // pure scan path
+        opts.num_shards = num_shards;
+        opts.radix_min_groups = radix_min_groups;
+        QueryService service(manager.get(), opts);
+        IOLAP_ASSERT_OK_AND_ASSIGN(std::vector<AggregateResult> got,
+                                   run_probes(service));
+        ASSERT_EQ(got.size(), oracle.size());
+        for (size_t i = 0; i < got.size(); ++i) {
+          EXPECT_NEAR(got[i].value, oracle[i].value, 1e-9)
+              << "probe " << i << " shards " << num_shards << " threads "
+              << num_threads;
+        }
+        if (baseline.empty()) {
+          baseline = std::move(got);
+          continue;
+        }
+        ASSERT_EQ(0, std::memcmp(baseline.data(), got.data(),
+                                 baseline.size() * sizeof(AggregateResult)))
+            << "answers not byte-identical at shards=" << num_shards
+            << " threads=" << num_threads
+            << " radix_min_groups=" << radix_min_groups;
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -32,6 +32,7 @@
 //
 //   iolap_cli serve --schema=s.csv --facts=f.csv --serve-workload=trace.txt
 //       [--serve-threads=4] [--cache-slots=4096] [--min-partition-rows=4096]
+//       [--shards=1] [--agg-index=0]
 //       [--agg-index=1]   # answer cache misses from the aggregate index
 //       Builds the Extended Database behind the maintenance layer and
 //       replays a query/mutation trace through the serving subsystem
@@ -443,6 +444,7 @@ int CmdServe(const Flags& flags) {
   sopts.min_partition_rows = flags.GetInt("min-partition-rows", 4096);
   sopts.cache_slots = flags.GetInt("cache-slots", 4096);
   sopts.agg_index = flags.GetInt("agg-index", 0) != 0;
+  sopts.num_shards = static_cast<int>(flags.GetInt("shards", 1));
   QueryService service(manager.get(), sopts);
 
   std::string workload = flags.GetString("serve-workload", "");
@@ -459,6 +461,7 @@ int CmdServe(const Flags& flags) {
   while (std::getline(in, line)) {
     DieOnError(ReplayLine(schema, service, catalog, line));
   }
+  std::printf("served with %d shard(s)\n", service.num_shards());
   if (service.cache() != nullptr) {
     AggregateCache::Stats stats = service.cache()->stats();
     std::printf("served at generation %" PRId64
