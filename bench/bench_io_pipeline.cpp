@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "storage/async_io.h"
 #include "storage/external_sort.h"
 
 using namespace iolap;
@@ -134,6 +135,7 @@ int main(int argc, char** argv) {
     for (AlgorithmKind algo :
          {AlgorithmKind::kBlock, AlgorithmKind::kTransitive}) {
       double serial_wall = 0;
+      int64_t serial_demand = 0;
       for (int mode = 0; mode < 2; ++mode) {
         AllocationOptions options;
         options.algorithm = algo;
@@ -144,6 +146,7 @@ int main(int argc, char** argv) {
         AllocationResult r;
         PoolStats pool;
         IoStats disk;
+        bool sync_mode = false;
         for (int rep = 0; rep < repeats; ++rep) {
           StorageEnv env(MakeWorkDir("io_pipe_alloc"), buffer_pages);
           TypedFile<FactRecord> file =
@@ -155,6 +158,7 @@ int main(int argc, char** argv) {
             wall = rep_wall;
             pool = env.pool().stats();
             disk = env.disk().stats();
+            sync_mode = env.pool().plan_sync_mode();
           }
         }
         double hit_rate =
@@ -165,9 +169,17 @@ int main(int argc, char** argv) {
         double speedup = 0;
         if (mode == 0) {
           serial_wall = wall;
+          serial_demand = r.alloc_io.total();
         } else if (wall > 0) {
           speedup = serial_wall / wall;
         }
+        // "sync" = plan-driven read-ahead ran inline on the pin path (one
+        // batched read per chunk, no backend thread) — the auto resolution
+        // on single-hardware-thread hosts.
+        const char* backend =
+            sync_mode
+                ? "sync"
+                : AsyncBackendName(ResolveAsyncBackend(options.io.io_backend));
         std::printf("%-8s %-12s %-9s %10.3f %12lld %9.1f%% %7.2fx\n",
                     kLabels[b], AlgorithmName(algo),
                     mode == 0 ? "serial" : "on", wall,
@@ -180,11 +192,19 @@ int main(int argc, char** argv) {
         json.Field("algorithm", AlgorithmName(algo));
         json.Field("pipeline", mode == 0 ? "serial" : "on");
         json.Field("wall_seconds", wall);
+        json.Field("prep_seconds", r.prep_seconds);
+        json.Field("alloc_seconds", r.alloc_seconds);
+        json.Field("emit_seconds", r.emit_seconds);
         json.Field("alloc_demand_io", r.alloc_io.total());
         json.Field("prefetch_reads", disk.prefetch_reads);
         json.Field("prefetch_hits", pool.prefetch_hits);
         json.Field("prefetch_hit_rate_pct", hit_rate);
         json.Field("speedup_vs_serial", speedup);
+        json.Field("io_backend", backend);
+        // Pinned by the cost model: planned read-ahead must not change the
+        // demand I/O the serial pipeline charges.
+        json.Field("demand_io_identical",
+                   mode == 0 || r.alloc_io.total() == serial_demand);
         json.EndObject();
       }
     }

@@ -50,6 +50,8 @@ Result<AllocationResult> Allocator::Run(StorageEnv& env,
   // pick per-page vs. batched write-back.
   env.pool().ConfigureReadAhead(options.io.read_ahead_pages);
   env.pool().set_batched_writeback(options.io.batched_writeback);
+  env.pool().ConfigurePlanReadAhead(options.io.io_backend,
+                                    options.io.plan_in_flight);
   IoStats io_before = env.disk().stats();
   Stopwatch watch;
 

@@ -1,0 +1,41 @@
+#ifndef IOLAP_STORAGE_ACCESS_PLAN_H_
+#define IOLAP_STORAGE_ACCESS_PLAN_H_
+
+#include <vector>
+
+#include "storage/disk_manager.h"
+
+namespace iolap {
+
+/// One ordered, contiguous page range of an access plan. Streams are
+/// consumed front to back: the planner submits read-ahead a bounded
+/// distance past the consumer's position (see BufferPool::BeginPlannedAccess).
+struct PlanStream {
+  FileId file = kInvalidFileId;
+  PageId first = 0;  // first page of the stream
+  PageId end = 0;    // one past the last page
+};
+
+/// An explicit declaration of the page ranges an iteration will read, in
+/// order. Emitted by readers whose schedule is exact — the window engine's
+/// cell scan is strictly sequential and its window loads are key-driven off
+/// known segment boundaries — and driven by the buffer pool's async
+/// read-ahead backend. Multiple streams may cover the same file (e.g. one
+/// per table segment); streams sharing a boundary page are fine — the
+/// submitter skips pages that are already cached or in flight.
+struct AccessPlan {
+  std::vector<PlanStream> streams;
+
+  /// Appends the page range [first, end) of `file`; empty ranges are
+  /// dropped so callers can pass raw begin/end arithmetic.
+  void AddRange(FileId file, PageId first, PageId end) {
+    if (file == kInvalidFileId || end <= first) return;
+    streams.push_back(PlanStream{file, first, end});
+  }
+
+  bool empty() const { return streams.empty(); }
+};
+
+}  // namespace iolap
+
+#endif  // IOLAP_STORAGE_ACCESS_PLAN_H_

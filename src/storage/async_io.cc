@@ -1,0 +1,397 @@
+#include "storage/async_io.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <condition_variable>
+
+#if defined(__linux__) && __has_include(<linux/io_uring.h>)
+#define IOLAP_HAVE_URING_HEADERS 1
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+// ThreadSanitizer cannot observe the kernel's stores into the shared
+// submission/completion rings and flags them as races; force the pread
+// fallback under TSan builds.
+#if defined(__SANITIZE_THREAD__)
+#define IOLAP_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define IOLAP_TSAN 1
+#endif
+#endif
+
+namespace iolap {
+
+namespace {
+
+/// Pread fallback: a small pool of workers draining a request queue with
+/// positional block reads through DiskManager (which charges the reads to
+/// the prefetch class and bypasses the fault injector). Two workers are
+/// enough to keep one read in flight while another completes — the buffer
+/// pool bounds in-flight depth anyway.
+class PreadPoolReader : public AsyncReader {
+ public:
+  PreadPoolReader(DiskManager* disk, Completion done, int threads)
+      : disk_(disk), done_(std::move(done)) {
+    for (int i = 0; i < threads; ++i) {
+      workers_.emplace_back(&PreadPoolReader::WorkerLoop, this);
+    }
+  }
+
+  ~PreadPoolReader() override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    // Workers drain the whole queue before exiting, so every submitted
+    // request has had its completion by the time join returns.
+    for (std::thread& t : workers_) t.join();
+  }
+
+  Status Submit(const AsyncReadRequest& req) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(req);
+    }
+    cv_.notify_one();
+    return Status::Ok();
+  }
+
+  const char* name() const override { return "pread"; }
+
+ private:
+  void WorkerLoop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) break;  // stop_ set and nothing left to drain
+      AsyncReadRequest req = queue_.front();
+      queue_.pop_front();
+      lock.unlock();
+      Status read = disk_->ReadPages(req.file, req.first, req.count,
+                                     req.buffer, /*prefetch=*/true);
+      done_(req.tag, read.ok());
+      lock.lock();
+    }
+  }
+
+  DiskManager* disk_;
+  Completion done_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<AsyncReadRequest> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+#if defined(IOLAP_HAVE_URING_HEADERS) && !defined(IOLAP_TSAN)
+
+int SysIoUringSetup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(syscall(__NR_io_uring_setup, entries, p));
+}
+
+int SysIoUringEnter(int fd, unsigned to_submit, unsigned min_complete,
+                    unsigned flags) {
+  return static_cast<int>(
+      syscall(__NR_io_uring_enter, fd, to_submit, min_complete, flags,
+              nullptr, 0));
+}
+
+/// Raw-syscall io_uring backend (the container has kernel headers but no
+/// liburing). One submission mutex serializes SQE writes; one reaper
+/// thread blocks in io_uring_enter(GETEVENTS) and fires completions.
+/// Shutdown: after all reads have completed, a NOP with a sentinel tag
+/// wakes the reaper out of its blocking wait.
+class IoUringReader : public AsyncReader {
+ public:
+  static constexpr unsigned kEntries = 64;  // >= any bounded in-flight depth
+  static constexpr uint64_t kStopTag = ~uint64_t{0};
+
+  static std::unique_ptr<IoUringReader> Create(DiskManager* disk,
+                                               Completion done) {
+    auto reader =
+        std::unique_ptr<IoUringReader>(new IoUringReader(disk, std::move(done)));
+    if (!reader->Init()) return nullptr;
+    return reader;
+  }
+
+  ~IoUringReader() override {
+    if (ring_fd_ >= 0) {
+      // Wait for in-flight reads first: the NOP could otherwise complete
+      // (and stop the reaper) ahead of them, leaving their completions
+      // unreaped and the kernel writing into freed buffers.
+      {
+        std::unique_lock<std::mutex> lock(state_mu_);
+        drained_cv_.wait(lock, [&] { return pending_.empty(); });
+      }
+      SubmitSqe(/*opcode=*/IORING_OP_NOP, /*fd=*/-1, /*off=*/0,
+                /*addr=*/nullptr, /*len=*/0, kStopTag);
+      if (reaper_.joinable()) reaper_.join();
+    }
+    if (sq_ptr_ != nullptr) munmap(sq_ptr_, sq_map_len_);
+    if (cq_ptr_ != nullptr && cq_ptr_ != sq_ptr_) munmap(cq_ptr_, cq_map_len_);
+    if (sqes_ != nullptr) munmap(sqes_, sqes_map_len_);
+    if (ring_fd_ >= 0) close(ring_fd_);
+  }
+
+  Status Submit(const AsyncReadRequest& req) override {
+    IOLAP_ASSIGN_OR_RETURN(int fd, disk_->RawFd(req.file));
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      pending_[req.tag] = req.count;
+    }
+    Status queued =
+        SubmitSqe(IORING_OP_READ, fd,
+                  static_cast<uint64_t>(req.first) * kPageSize, req.buffer,
+                  static_cast<unsigned>(req.count * kPageSize), req.tag);
+    if (!queued.ok()) {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      pending_.erase(req.tag);
+    }
+    return queued;
+  }
+
+  const char* name() const override { return "uring"; }
+
+ private:
+  IoUringReader(DiskManager* disk, Completion done)
+      : disk_(disk), done_(std::move(done)) {}
+
+  bool Init() {
+    io_uring_params params;
+    std::memset(&params, 0, sizeof(params));
+    ring_fd_ = SysIoUringSetup(kEntries, &params);
+    if (ring_fd_ < 0) return false;
+    sq_map_len_ = params.sq_off.array + params.sq_entries * sizeof(uint32_t);
+    cq_map_len_ = params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+    const bool single_mmap = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap && cq_map_len_ > sq_map_len_) sq_map_len_ = cq_map_len_;
+    sq_ptr_ = mmap(nullptr, sq_map_len_, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+    if (sq_ptr_ == MAP_FAILED) {
+      sq_ptr_ = nullptr;
+      return false;
+    }
+    if (single_mmap) {
+      cq_ptr_ = sq_ptr_;
+    } else {
+      cq_ptr_ = mmap(nullptr, cq_map_len_, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING);
+      if (cq_ptr_ == MAP_FAILED) {
+        cq_ptr_ = nullptr;
+        return false;
+      }
+    }
+    sqes_map_len_ = params.sq_entries * sizeof(io_uring_sqe);
+    void* sqes = mmap(nullptr, sqes_map_len_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES);
+    if (sqes == MAP_FAILED) return false;
+    sqes_ = static_cast<io_uring_sqe*>(sqes);
+
+    auto at = [](void* base, uint32_t off) {
+      return static_cast<char*>(base) + off;
+    };
+    sq_head_ = reinterpret_cast<std::atomic<uint32_t>*>(
+        at(sq_ptr_, params.sq_off.head));
+    sq_tail_ = reinterpret_cast<std::atomic<uint32_t>*>(
+        at(sq_ptr_, params.sq_off.tail));
+    sq_mask_ = *reinterpret_cast<uint32_t*>(at(sq_ptr_, params.sq_off.ring_mask));
+    sq_array_ = reinterpret_cast<uint32_t*>(at(sq_ptr_, params.sq_off.array));
+    cq_head_ = reinterpret_cast<std::atomic<uint32_t>*>(
+        at(cq_ptr_, params.cq_off.head));
+    cq_tail_ = reinterpret_cast<std::atomic<uint32_t>*>(
+        at(cq_ptr_, params.cq_off.tail));
+    cq_mask_ = *reinterpret_cast<uint32_t*>(at(cq_ptr_, params.cq_off.ring_mask));
+    cqes_ = reinterpret_cast<io_uring_cqe*>(at(cq_ptr_, params.cq_off.cqes));
+
+    reaper_ = std::thread(&IoUringReader::ReaperLoop, this);
+    return true;
+  }
+
+  Status SubmitSqe(uint8_t opcode, int fd, uint64_t off, void* addr,
+                   unsigned len, uint64_t tag) {
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    const uint32_t tail = sq_tail_->load(std::memory_order_relaxed);
+    if (tail - sq_head_->load(std::memory_order_acquire) >= kEntries) {
+      return Status::ResourceExhausted("io_uring submission queue full");
+    }
+    const uint32_t idx = tail & sq_mask_;
+    io_uring_sqe* sqe = &sqes_[idx];
+    std::memset(sqe, 0, sizeof(*sqe));
+    sqe->opcode = opcode;
+    sqe->fd = fd;
+    sqe->off = off;
+    sqe->addr = reinterpret_cast<uint64_t>(addr);
+    sqe->len = len;
+    sqe->user_data = tag;
+    sq_array_[idx] = idx;
+    sq_tail_->store(tail + 1, std::memory_order_release);
+    for (;;) {
+      const int ret = SysIoUringEnter(ring_fd_, 1, 0, 0);
+      if (ret >= 0) return Status::Ok();
+      if (errno == EINTR || errno == EAGAIN) continue;
+      // The kernel consumed nothing; take the SQE back before reporting.
+      sq_tail_->store(tail, std::memory_order_release);
+      return Status::Internal(std::string("io_uring_enter: ") +
+                              std::strerror(errno));
+    }
+  }
+
+  void ReaperLoop() {
+    bool stop = false;
+    while (!stop) {
+      const int ret = SysIoUringEnter(ring_fd_, 0, 1, IORING_ENTER_GETEVENTS);
+      if (ret < 0 && errno != EINTR) break;  // ring torn down underneath
+      uint32_t head = cq_head_->load(std::memory_order_relaxed);
+      const uint32_t tail = cq_tail_->load(std::memory_order_acquire);
+      while (head != tail) {
+        const io_uring_cqe& cqe = cqes_[head & cq_mask_];
+        const uint64_t tag = cqe.user_data;
+        const int32_t res = cqe.res;
+        ++head;
+        cq_head_->store(head, std::memory_order_release);
+        if (tag == kStopTag) {
+          stop = true;
+          continue;
+        }
+        int64_t count = 0;
+        bool known = false;
+        {
+          std::lock_guard<std::mutex> lock(state_mu_);
+          auto it = pending_.find(tag);
+          if (it != pending_.end()) {
+            count = it->second;
+            known = true;
+            pending_.erase(it);
+          }
+          if (pending_.empty()) drained_cv_.notify_all();
+        }
+        if (!known) continue;  // submission already reported as failed
+        const bool ok =
+            res == static_cast<int64_t>(count) * static_cast<int64_t>(kPageSize);
+        if (ok) disk_->ChargePrefetchReads(count);
+        done_(tag, ok);
+      }
+    }
+  }
+
+  DiskManager* disk_;
+  Completion done_;
+
+  int ring_fd_ = -1;
+  void* sq_ptr_ = nullptr;
+  void* cq_ptr_ = nullptr;
+  io_uring_sqe* sqes_ = nullptr;
+  size_t sq_map_len_ = 0;
+  size_t cq_map_len_ = 0;
+  size_t sqes_map_len_ = 0;
+  std::atomic<uint32_t>* sq_head_ = nullptr;
+  std::atomic<uint32_t>* sq_tail_ = nullptr;
+  uint32_t sq_mask_ = 0;
+  uint32_t* sq_array_ = nullptr;
+  std::atomic<uint32_t>* cq_head_ = nullptr;
+  std::atomic<uint32_t>* cq_tail_ = nullptr;
+  uint32_t cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+
+  std::mutex submit_mu_;  // serializes SQE writes + tail publication
+  std::mutex state_mu_;   // guards pending_
+  std::condition_variable drained_cv_;
+  std::unordered_map<uint64_t, int64_t> pending_;  // tag -> page count
+  std::thread reaper_;
+};
+
+#endif  // IOLAP_HAVE_URING_HEADERS && !IOLAP_TSAN
+
+}  // namespace
+
+bool IoUringSupported() {
+#if defined(IOLAP_HAVE_URING_HEADERS) && !defined(IOLAP_TSAN)
+  static const bool supported = [] {
+    io_uring_params params;
+    std::memset(&params, 0, sizeof(params));
+    const int fd = SysIoUringSetup(4, &params);
+    if (fd < 0) return false;
+    close(fd);
+    return true;
+  }();
+  return supported;
+#else
+  return false;
+#endif
+}
+
+bool ParseAsyncBackend(const std::string& text, AsyncBackendKind* out) {
+  if (text == "off") {
+    *out = AsyncBackendKind::kOff;
+  } else if (text == "auto") {
+    *out = AsyncBackendKind::kAuto;
+  } else if (text == "uring") {
+    *out = AsyncBackendKind::kUring;
+  } else if (text == "pread") {
+    *out = AsyncBackendKind::kPread;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* AsyncBackendName(AsyncBackendKind kind) {
+  switch (kind) {
+    case AsyncBackendKind::kOff:
+      return "off";
+    case AsyncBackendKind::kAuto:
+      return "auto";
+    case AsyncBackendKind::kUring:
+      return "uring";
+    case AsyncBackendKind::kPread:
+      return "pread";
+  }
+  return "off";
+}
+
+AsyncBackendKind ResolveAsyncBackend(AsyncBackendKind requested) {
+  // An explicit kOff is a kill switch the env never overrides: the
+  // Serial() pipeline must stay serial even under a fleet-wide
+  // IOLAP_IO_BACKEND force, or every serial baseline (and the
+  // equivalence tests' reference runs) would silently go async.
+  if (requested == AsyncBackendKind::kOff) return AsyncBackendKind::kOff;
+  const char* env = std::getenv("IOLAP_IO_BACKEND");
+  if (env != nullptr && *env != '\0') {
+    AsyncBackendKind forced;
+    if (ParseAsyncBackend(env, &forced)) requested = forced;
+  }
+  if (requested == AsyncBackendKind::kOff) return AsyncBackendKind::kOff;
+  if (requested == AsyncBackendKind::kPread) return AsyncBackendKind::kPread;
+  return IoUringSupported() ? AsyncBackendKind::kUring
+                            : AsyncBackendKind::kPread;
+}
+
+std::unique_ptr<AsyncReader> CreateAsyncReader(AsyncBackendKind kind,
+                                               DiskManager* disk,
+                                               AsyncReader::Completion done) {
+#if defined(IOLAP_HAVE_URING_HEADERS) && !defined(IOLAP_TSAN)
+  if (kind == AsyncBackendKind::kUring) {
+    return IoUringReader::Create(disk, std::move(done));
+  }
+#endif
+  if (kind == AsyncBackendKind::kUring || kind == AsyncBackendKind::kPread) {
+    return std::make_unique<PreadPoolReader>(disk, std::move(done),
+                                             /*threads=*/2);
+  }
+  return nullptr;
+}
+
+}  // namespace iolap

@@ -1,0 +1,85 @@
+#ifndef IOLAP_STORAGE_ASYNC_IO_H_
+#define IOLAP_STORAGE_ASYNC_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+
+namespace iolap {
+
+/// Which async read backend drives plan-driven read-ahead.
+enum class AsyncBackendKind {
+  kOff,    // no plan-driven read-ahead (heuristic hints only)
+  kAuto,   // io_uring when the kernel supports it, else the pread pool
+  kUring,  // raw-syscall io_uring rings (no liburing dependency)
+  kPread,  // small thread pool issuing positional reads
+};
+
+/// One async read of `count` consecutive pages of `file` starting at
+/// `first` into `buffer` (count * kPageSize bytes, caller-owned and stable
+/// until the completion fires). `tag` round-trips to the completion.
+struct AsyncReadRequest {
+  FileId file = kInvalidFileId;
+  PageId first = 0;
+  int64_t count = 0;
+  std::byte* buffer = nullptr;
+  uint64_t tag = 0;
+};
+
+/// Asynchronous page-read backend. Submit() queues a read and returns;
+/// the completion callback fires exactly once per submitted request, from
+/// a backend thread, with no backend-internal locks held (the callback may
+/// re-enter Submit or take caller locks). `ok == false` means the read did
+/// not complete (short read, I/O error, or backend shutdown) and the
+/// buffer contents are unspecified; the caller falls back to a demand
+/// read. Successful reads are charged to `IoStats::prefetch_reads` and —
+/// like all read-ahead — bypass the fault injector; a real fault
+/// resurfaces on the demand read. The destructor completes or fails every
+/// in-flight request (each still gets its callback) before returning.
+class AsyncReader {
+ public:
+  using Completion = std::function<void(uint64_t tag, bool ok)>;
+
+  virtual ~AsyncReader() = default;
+
+  /// Queues `req`. A non-OK status means the request was *not* accepted
+  /// and no completion will fire for it.
+  virtual Status Submit(const AsyncReadRequest& req) = 0;
+
+  /// Stable backend name for logs and bench JSON ("uring" / "pread").
+  virtual const char* name() const = 0;
+};
+
+/// True when this kernel accepts io_uring_setup (probed once and cached).
+/// Always false under ThreadSanitizer: TSan cannot see the kernel's writes
+/// into the shared rings and reports false positives.
+bool IoUringSupported();
+
+/// Resolves `requested` to a concrete backend: applies the
+/// `IOLAP_IO_BACKEND` environment override (`uring` | `pread` | `off`,
+/// used by CI to force the fallback), then maps kAuto to kUring or kPread
+/// by probing, and downgrades an explicit kUring to kPread when the kernel
+/// lacks support. Never returns kAuto.
+AsyncBackendKind ResolveAsyncBackend(AsyncBackendKind requested);
+
+/// Backend name for display ("off" / "auto" / "uring" / "pread").
+const char* AsyncBackendName(AsyncBackendKind kind);
+
+/// Parses a `--io-backend` flag value; returns false on unknown names.
+bool ParseAsyncBackend(const std::string& text, AsyncBackendKind* out);
+
+/// Creates the backend for `kind` (must be kUring or kPread — resolve
+/// first). Returns null if the backend cannot start (e.g. ring setup
+/// failed after a positive probe); callers should then retry with kPread
+/// or run without a plan.
+std::unique_ptr<AsyncReader> CreateAsyncReader(AsyncBackendKind kind,
+                                               DiskManager* disk,
+                                               AsyncReader::Completion done);
+
+}  // namespace iolap
+
+#endif  // IOLAP_STORAGE_ASYNC_IO_H_

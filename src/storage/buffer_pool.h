@@ -10,11 +10,14 @@
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "storage/access_plan.h"
+#include "storage/async_io.h"
 #include "storage/disk_manager.h"
 #include "storage/io_stats.h"
 
@@ -73,6 +76,18 @@ class PageGuard {
 /// The prefetcher never evicts a demand-loaded frame: it only fills free
 /// frames or replaces still-unconsumed prefetched frames.
 ///
+/// Plan-driven read-ahead: when a reader knows its page schedule exactly
+/// (the window engine's cell scan and segment windows), it wraps the scan
+/// in `BeginPlannedAccess(plan)`. The pool then drives an async backend
+/// (io_uring or a pread pool, `ConfigurePlanReadAhead`) a bounded distance
+/// ahead of the consumer, overlapping the next pages' reads with the
+/// current pages' compute. Completed planned reads are installed only into
+/// *free* frames (an "annex" outside the LRU, reclaimed by demand eviction
+/// before any LRU victim) or parked in their chunk buffer until demanded —
+/// so the demand-page cache contents, the LRU order, and therefore
+/// `IoStats::page_reads` evolve exactly as in a serial run. While a plan is
+/// active, heuristic hints for the planned files are suppressed.
+///
 /// Hints are additionally *gated* so read-ahead backs off when it cannot
 /// help: a hint is dropped when the pool's prefetch headroom (free frames
 /// plus still-unconsumed prefetched frames) falls below a small threshold,
@@ -83,6 +98,12 @@ class PageGuard {
 /// window, so a changed access pattern re-opens the gate with a fresh
 /// probe. Gating only suppresses *physical* read-ahead traffic; demand
 /// reads (`IoStats::page_reads`) are unaffected.
+///
+/// Destruction contract: the destructor stops the prefetcher, then writes
+/// back any remaining dirty frames best-effort (failures are logged to
+/// stderr and, in debug builds, assert). Callers that must observe flush
+/// errors should call FlushAll() themselves before destroying the pool —
+/// a destructor cannot report them.
 class BufferPool {
  public:
   BufferPool(DiskManager* disk, size_t capacity_pages);
@@ -109,6 +130,41 @@ class BufferPool {
   /// disables prefetching). Starts the background prefetcher on first
   /// enable.
   void ConfigureReadAhead(int pages);
+
+  /// RAII handle for one active access plan; ends the plan (draining
+  /// in-flight reads) on destruction. Inert when default-constructed or
+  /// when the pool declined the plan.
+  class PlannedAccess {
+   public:
+    PlannedAccess() = default;
+    ~PlannedAccess();
+    PlannedAccess(const PlannedAccess&) = delete;
+    PlannedAccess& operator=(const PlannedAccess&) = delete;
+    PlannedAccess(PlannedAccess&& other) noexcept : pool_(other.pool_) {
+      other.pool_ = nullptr;
+    }
+    PlannedAccess& operator=(PlannedAccess&& other) noexcept;
+    bool active() const { return pool_ != nullptr; }
+
+   private:
+    friend class BufferPool;
+    explicit PlannedAccess(BufferPool* pool) : pool_(pool) {}
+    BufferPool* pool_ = nullptr;
+  };
+
+  /// Selects the async backend plan-driven read-ahead runs on and the
+  /// bound on concurrently in-flight read chunks. `backend` is resolved
+  /// through `ResolveAsyncBackend` (env override, auto-probing); kOff
+  /// makes every BeginPlannedAccess inert. Chunk size follows
+  /// `read_ahead_pages()`. Call before the first plan; the backend thread
+  /// starts lazily at the first accepted plan.
+  void ConfigurePlanReadAhead(AsyncBackendKind backend, int in_flight_chunks);
+
+  /// Starts driving `plan` (see the class comment). At most one plan may
+  /// be active; a second Begin, an empty plan, or an off/unavailable
+  /// backend returns an inert guard and the reader proceeds on demand
+  /// reads alone. Streams are clamped to the current file sizes.
+  PlannedAccess BeginPlannedAccess(const AccessPlan& plan);
   int read_ahead_pages() const {
     return read_ahead_pages_.load(std::memory_order_relaxed);
   }
@@ -136,6 +192,29 @@ class BufferPool {
   /// Blocks until every prefetch enqueued so far has been serviced or
   /// dropped. Test-only determinism hook.
   void DrainPrefetches();
+
+  /// Test-only determinism hook: freezes/unfreezes the background
+  /// prefetcher so tests can stage queue contents without racing the
+  /// worker. Queued hints stay queued while paused; Pin's inline claim
+  /// path (`TryServiceQueuedPrefetch`) still runs. Callers must unpause
+  /// (or purge via `ConfigureReadAhead(0)`) before `DrainPrefetches`.
+  void SetPrefetcherPausedForTest(bool paused);
+
+  /// True when plan-driven read-ahead is driven synchronously from the pin
+  /// path instead of an async backend (see plan_sync_).
+  bool plan_sync_mode() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return plan_sync_;
+  }
+
+  /// Test hook: forces synchronous plan mode (see plan_sync_) regardless of
+  /// host parallelism, so the inline chunk-serve path is exercisable on
+  /// multi-core machines. Call between ConfigurePlanReadAhead (which
+  /// recomputes the mode) and BeginPlannedAccess.
+  void SetPlanSyncForTest(bool sync) {
+    std::lock_guard<std::mutex> lock(mu_);
+    plan_sync_ = sync;
+  }
 
   size_t capacity_pages() const { return capacity_; }
   size_t pinned_pages() const;
@@ -176,7 +255,11 @@ class BufferPool {
     int32_t pin_count = 0;
     bool dirty = false;
     bool prefetched = false;  // loaded by read-ahead, not yet consumed
-    std::list<int32_t>::iterator lru_pos;  // valid iff in_lru
+    // In plan_annex_ rather than lru_ (lru_pos then indexes the annex):
+    // planned frames occupy only frames a serial run would have free, so
+    // demand replacement is untouched (see FindVictim).
+    bool planned = false;
+    std::list<int32_t>::iterator lru_pos;  // valid iff in_lru or planned
     bool in_lru = false;
     std::unique_ptr<std::byte[]> data;
   };
@@ -202,9 +285,60 @@ class BufferPool {
     uint64_t epoch = 0;  // file epoch at enqueue; stale requests are dropped
   };
 
+  /// One in-flight or partially consumed chunk of planned read-ahead. The
+  /// buffer outlives the async read; pages that complete with no free
+  /// frame stay in it ("pending") until a demand Pin copies them out.
+  struct PlanChunk {
+    FileId file = kInvalidFileId;
+    PageId first = 0;
+    int64_t count = 0;
+    uint64_t epoch = 0;  // file epoch at submission
+    /// Async chunks read into one contiguous buffer (`data`, a single
+    /// backend request); synchronous chunks scatter-read into per-page
+    /// buffers (`page_bufs`) so a parked page is served by swapping its
+    /// buffer into the frame — no second copy. Exactly one is populated.
+    std::unique_ptr<std::byte[]> data;
+    std::vector<std::unique_ptr<std::byte[]>> page_bufs;
+    int64_t pending = 0;   // pages parked in the buffer awaiting a Pin
+    bool resolved = false;  // completion processed
+  };
+  /// Cursor over one PlanStream. next_submit only grows; pages behind
+  /// consume_pos are done and never resubmitted.
+  struct PlanStreamState {
+    FileId file = kInvalidFileId;
+    PageId begin = 0;
+    PageId next_submit = 0;
+    PageId end = 0;
+    PageId consume_pos = 0;
+  };
+
   // All private helpers below require mu_ to be held by the caller.
   Result<int32_t> FindVictim();
   int32_t FindPrefetchVictim();
+  /// Submits read chunks round-robin across plan streams until the
+  /// in-flight bound is met or nothing is submittable.
+  void PumpPlanLocked();
+  /// Serves a demand miss on a planned-but-unread page by reading the
+  /// whole upcoming chunk with one batched prefetch-class transfer on the
+  /// caller's thread, parking the tail pages for later pins. Returns the
+  /// pinned frame index, or -1 when the page is outside every stream or
+  /// the read/victim path fails (the caller falls back to a plain demand
+  /// read). This is the plan driver in synchronous mode (plan_sync_) and
+  /// the rescue path when the demand stream outruns the async frontier.
+  int32_t TryServePlannedChunkLocked(FileId file, PageId page);
+  /// Advances the plan consumption cursor past `page` and re-pumps.
+  void PlanNotifyPinLocked(FileId file, PageId page);
+  /// Completion handler for the async backend (locks mu_ itself).
+  void PlanReadComplete(uint64_t tag, bool ok);
+  /// Tears down the active plan: drains in-flight reads, drops pending
+  /// pages as wasted, keeps installed annex frames cached.
+  void EndPlannedAccess();
+  /// Drops plan state referring to `file` (EvictFile): kills its streams
+  /// and discards its pending pages. In-flight chunks die at their epoch
+  /// check on completion.
+  void DropPlanStateForFileLocked(FileId file);
+  /// Releases `chunk`'s buffer once it is resolved and no page is parked.
+  void MaybeFreeChunkLocked(uint64_t tag);
   Status FlushFrame(Frame& frame);
   Status FlushFramesBatched(std::vector<int32_t>& frame_indices);
   void ReleaseFrame(size_t frame_index);
@@ -224,8 +358,11 @@ class BufferPool {
     frames_[frame_index].dirty = true;
   }
   std::byte* FrameData(int32_t frame_index) {
-    // Lock-free: the frame buffer address is fixed at construction and the
-    // caller holds a pin, so the frame cannot be re-assigned underneath.
+    // Lock-free: the caller holds a pin, so the frame cannot be
+    // re-assigned underneath it. The buffer address is stable while
+    // pinned — it only changes when an unpinned frame adopts a
+    // synchronous plan chunk's page buffer, under mu_ (see Pin's
+    // pending-serve path).
     return frames_[frame_index].data.get();
   }
 
@@ -254,6 +391,38 @@ class BufferPool {
   std::unordered_map<Key, int32_t, KeyHash> page_table_;
   std::unordered_map<FileId, uint64_t> file_epochs_;  // bumped by EvictFile
   PoolStats stats_;
+  // ---- Plan-driven read-ahead state (all under mu_; the backend's
+  // completion thread re-acquires mu_ through PlanReadComplete). mu_ may
+  // be held while calling into the backend's Submit, never the reverse.
+  std::unique_ptr<AsyncReader> async_reader_;
+  AsyncBackendKind plan_backend_ = AsyncBackendKind::kOff;  // resolved
+  /// Drive plans synchronously from the pin path instead of spawning an
+  /// async backend. Chosen by ConfigurePlanReadAhead for kAuto on hosts
+  /// with a single hardware thread: there a backend thread cannot overlap
+  /// anything and every handoff is a context switch, while the batched
+  /// chunk read alone (one pread per chunk vs. one per page) already beats
+  /// the serial pipeline. An explicit backend request or IOLAP_IO_BACKEND
+  /// override forces the async path regardless.
+  bool plan_sync_ = false;
+  int plan_in_flight_ = 4;     // max chunks submitted but not completed
+  bool plan_active_ = false;   // accepting pumps/notifies for a plan
+  std::vector<PlanStreamState> plan_streams_;
+  size_t plan_next_stream_ = 0;  // round-robin pump position
+  int64_t plan_outstanding_ = 0;
+  uint64_t plan_next_tag_ = 1;
+  std::unordered_map<uint64_t, std::unique_ptr<PlanChunk>> plan_chunks_;
+  struct PendingPage {
+    uint64_t chunk_tag = 0;
+    int64_t offset = 0;  // page index within the chunk
+  };
+  std::unordered_map<Key, PendingPage, KeyHash> plan_pending_;
+  std::unordered_set<Key, KeyHash> plan_inflight_pages_;
+  std::unordered_set<FileId> plan_files_;
+  std::list<int32_t> plan_annex_;  // planned frames, outside the LRU
+  /// Signalled whenever an in-flight chunk resolves (installed, parked, or
+  /// dropped): demand Pins overtaking the plan wait here, EndPlannedAccess
+  /// drains here. Waits use mu_.
+  std::condition_variable plan_cv_;
   // Prefetch-gating state (all under mu_): loaded-but-unconsumed read-ahead
   // frames, and the rolling window of decided prefetches.
   int64_t prefetched_unconsumed_ = 0;
@@ -284,6 +453,7 @@ class BufferPool {
   /// only delays a claim the worker will service anyway.
   std::atomic<int64_t> queue_depth_{0};
   int64_t in_service_ = 0;  // requests popped but not yet finished
+  bool paused_ = false;     // test hook: worker sleeps while set
   bool stop_ = false;
   std::thread prefetcher_;
 };

@@ -150,6 +150,50 @@ Status DiskManager::ReadPagesOnce(FileId file, PageId first, int64_t n,
   return Status::Ok();
 }
 
+Status DiskManager::ReadPagesScatter(FileId file, PageId first,
+                                     std::byte* const* pages, int64_t n,
+                                     bool prefetch) {
+  return RunWithRetry(
+      [&] { return ReadPagesScatterOnce(file, first, pages, n, prefetch); });
+}
+
+Status DiskManager::ReadPagesScatterOnce(FileId file, PageId first,
+                                         std::byte* const* pages, int64_t n,
+                                         bool prefetch) {
+  if (!prefetch) {
+    IOLAP_RETURN_IF_ERROR(Inject('r', file, first, n));
+  }
+  IOLAP_ASSIGN_OR_RETURN(FileState * state, GetFile(file));
+  if (n <= 0) {
+    return Status::InvalidArgument("scatter read of a non-positive count");
+  }
+  if (first < 0 || first + n > state->size_pages.load()) {
+    return Status::OutOfRange(
+        "read of pages [" + std::to_string(first) + "," +
+        std::to_string(first + n) + ") beyond file of " +
+        std::to_string(state->size_pages.load()) + " pages");
+  }
+  int64_t done = 0;
+  while (done < n) {
+    int64_t batch = std::min(n - done, kMaxIov);
+    struct iovec iov[kMaxIov];
+    for (int64_t i = 0; i < batch; ++i) {
+      iov[i].iov_base = pages[done + i];
+      iov[i].iov_len = kPageSize;
+    }
+    ssize_t want = static_cast<ssize_t>(batch) * static_cast<ssize_t>(kPageSize);
+    ssize_t got = ::preadv(state->fd, iov, static_cast<int>(batch),
+                           static_cast<off_t>(first + done) * kPageSize);
+    if (got != want) {
+      return Status::IoError(ErrnoMessage("preadv", state->path));
+    }
+    done += batch;
+  }
+  auto& counter = prefetch ? prefetch_reads_ : page_reads_;
+  counter.fetch_add(n, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
 Status DiskManager::WritePage(FileId file, PageId page, const void* buffer) {
   return WritePages(file, page, 1, buffer);
 }
@@ -241,6 +285,11 @@ Status DiskManager::Preallocate(FileId file, int64_t pages) {
 Result<int64_t> DiskManager::SizeInPages(FileId file) const {
   IOLAP_ASSIGN_OR_RETURN(FileState * state, GetFile(file));
   return state->size_pages.load();
+}
+
+Result<int> DiskManager::RawFd(FileId file) const {
+  IOLAP_ASSIGN_OR_RETURN(FileState * state, GetFile(file));
+  return state->fd;
 }
 
 Status DiskManager::Truncate(FileId file, int64_t pages) {

@@ -269,6 +269,124 @@ TEST_F(BufferPoolTest, PrefetchIsNoOpWhileUnconfigured) {
   EXPECT_EQ(disk_.stats().page_reads, 0);
 }
 
+TEST_F(BufferPoolTest, DestructorWritesBackDirtyPages) {
+  FileId f = NewFileWithPages(2);
+  {
+    BufferPool pool(&disk_, 4);
+    IOLAP_ASSERT_OK_AND_ASSIGN(PageGuard g, pool.Pin(f, 1));
+    g.data()[7] = std::byte{0x5A};
+    g.MarkDirty();
+    g.Release();
+    // No FlushAll/FlushFile: the destructor alone must not lose the write.
+  }
+  std::byte page[kPageSize];
+  IOLAP_ASSERT_OK(disk_.ReadPage(f, 1, page));
+  EXPECT_EQ(page[7], std::byte{0x5A});
+}
+
+TEST_F(BufferPoolTest, DisablingReadAheadPurgesQueuedHints) {
+  FileId f = NewFileWithPages(8);
+  BufferPool pool(&disk_, 16);
+  pool.ConfigureReadAhead(4);
+  // Freeze the worker so the hints stay queued across the disable.
+  pool.SetPrefetcherPausedForTest(true);
+  disk_.ResetStats();
+  pool.Prefetch(f, 0, 4);
+  pool.Prefetch(f, 4, 4);
+  pool.ConfigureReadAhead(0);  // must purge both queued requests
+  pool.SetPrefetcherPausedForTest(false);
+  pool.DrainPrefetches();  // returns immediately: nothing left to service
+  EXPECT_EQ(disk_.stats().prefetch_reads, 0);
+  EXPECT_EQ(pool.stats().prefetch_hits, 0);
+  // The hinted pages were never loaded: pins are plain demand misses.
+  { IOLAP_ASSERT_OK_AND_ASSIGN(PageGuard g, pool.Pin(f, 0)); (void)g; }
+  EXPECT_EQ(disk_.stats().page_reads, 1);
+  EXPECT_EQ(pool.stats().misses, 1);
+  // Enable/disable is idempotent: repeat disables are no-ops and a
+  // re-enable reuses the worker.
+  pool.ConfigureReadAhead(0);
+  pool.ConfigureReadAhead(4);
+  pool.ConfigureReadAhead(4);
+  pool.Prefetch(f, 4, 4);
+  pool.DrainPrefetches();
+  EXPECT_EQ(disk_.stats().prefetch_reads, 4);
+}
+
+TEST_F(BufferPoolTest, PinClaimsQueuedHintAndServicesOnlyTheTail) {
+  FileId f = NewFileWithPages(8);
+  BufferPool pool(&disk_, 16);
+  pool.ConfigureReadAhead(4);
+  // Freeze the worker: the demand Pin below must overtake the queued hint
+  // through TryServiceQueuedPrefetch, deterministically.
+  pool.SetPrefetcherPausedForTest(true);
+  disk_.ResetStats();
+  pool.Prefetch(f, 0, 4);
+  {
+    // Overtaking pin: claims the hint, services only the tail [2, 4) as
+    // prefetch reads, and charges exactly one demand read for itself.
+    IOLAP_ASSERT_OK_AND_ASSIGN(PageGuard g, pool.Pin(f, 2));
+    EXPECT_EQ(g.data()[0], std::byte{2});
+  }
+  EXPECT_EQ(disk_.stats().prefetch_reads, 2);  // pages 2 and 3 only
+  EXPECT_EQ(disk_.stats().page_reads, 1);
+  EXPECT_EQ(pool.stats().prefetch_hits, 1);
+  { IOLAP_ASSERT_OK_AND_ASSIGN(PageGuard g, pool.Pin(f, 3)); (void)g; }
+  EXPECT_EQ(pool.stats().prefetch_hits, 2);
+  EXPECT_EQ(disk_.stats().page_reads, 2);
+  // The already-demanded head [0, 2) was dropped from the hint: these are
+  // physical demand misses, not prefetch hits.
+  { IOLAP_ASSERT_OK_AND_ASSIGN(PageGuard g, pool.Pin(f, 0)); (void)g; }
+  { IOLAP_ASSERT_OK_AND_ASSIGN(PageGuard g, pool.Pin(f, 1)); (void)g; }
+  EXPECT_EQ(disk_.stats().page_reads, 4);
+  EXPECT_EQ(disk_.stats().prefetch_reads, 2);
+  EXPECT_EQ(pool.stats().misses, 2);
+  pool.SetPrefetcherPausedForTest(false);
+}
+
+TEST_F(BufferPoolTest, GateFastPathFoldDoesNotCountServicedHint) {
+  // Reaches the every-64th fall-through of the closed-gate fast path at a
+  // moment when the gates have re-opened, so the fallen-through hint is
+  // enqueued and serviced: prefetch_gated must count only the 63 dropped
+  // hints plus the fold batch, not the serviced one.
+  FileId a = NewFileWithPages(33);
+  auto file_b = disk_.CreateFile("b");
+  ASSERT_TRUE(file_b.ok());
+  FileId b = *file_b;
+  std::byte page[kPageSize];
+  for (int i = 0; i < 31; ++i) {
+    std::memset(page, i, kPageSize);
+    ASSERT_TRUE(disk_.WritePage(b, i, page).ok());
+  }
+  BufferPool pool(&disk_, 64);
+  pool.ConfigureReadAhead(8);
+  pool.Prefetch(a, 0, 33);
+  pool.Prefetch(b, 0, 31);
+  pool.DrainPrefetches();  // all 64 frames hold unconsumed prefetches
+  // Evicting A decides 33 prefetches as wasted: the rolling window is now
+  // 0 hits / 33 wasted (past the 32-sample floor).
+  IOLAP_ASSERT_OK(pool.EvictFile(a));
+  // The next locked-path hint evaluates the window and closes the gate.
+  pool.Prefetch(a, 0, 1);
+  EXPECT_EQ(pool.stats().prefetch_gated, 1);
+  // Consuming B's 31 prefetched frames flips the window effective again
+  // (31 hits / 33 wasted), but the published gate stays closed until the
+  // next locked-path evaluation — exactly the fall-through scenario.
+  for (PageId p = 0; p < 31; ++p) {
+    IOLAP_ASSERT_OK_AND_ASSIGN(PageGuard g, pool.Pin(b, p));
+    (void)g;
+  }
+  EXPECT_EQ(pool.stats().prefetch_hits, 31);
+  const int64_t prefetch_reads_before = disk_.stats().prefetch_reads;
+  // 63 hints fast-drop; the 64th falls through, folds the batch, finds the
+  // gates open, and is enqueued and serviced.
+  for (int i = 0; i < 64; ++i) pool.Prefetch(a, 0, 1);
+  pool.DrainPrefetches();
+  EXPECT_EQ(disk_.stats().prefetch_reads, prefetch_reads_before + 1);
+  // 1 (gate-closing hint) + 63 fast drops. The buggy fold also counted the
+  // serviced 64th hint, reporting 65.
+  EXPECT_EQ(pool.stats().prefetch_gated, 64);
+}
+
 TEST_F(BufferPoolTest, LruOrderIsRecencyBased) {
   FileId f = NewFileWithPages(3);
   BufferPool pool(&disk_, 2);

@@ -32,9 +32,11 @@ Result<StarSchema> MakeDenseSchema() {
 }
 
 // Runs one full allocation and returns the EDB file's raw page bytes.
+// With `alloc_io`, also reports the allocation phase's I/O counters.
 std::vector<std::byte> RunAndDumpEdb(const StarSchema& schema,
                                      AlgorithmKind algorithm, uint64_t seed,
-                                     const IoPipelineOptions& io) {
+                                     const IoPipelineOptions& io,
+                                     IoStats* alloc_io = nullptr) {
   // Small pool so the sorts inside preprocessing spill to multi-run
   // external sorts and the window engine actually recycles frames.
   StorageEnv env(MakeTempDir(), 16);
@@ -57,6 +59,7 @@ std::vector<std::byte> RunAndDumpEdb(const StarSchema& schema,
   auto result_or = Allocator::Run(env, schema, &facts, options);
   EXPECT_TRUE(result_or.ok()) << result_or.status().ToString();
   auto result = std::move(result_or).value();
+  if (alloc_io != nullptr) *alloc_io = result.alloc_io;
 
   EXPECT_TRUE(env.pool().FlushFile(result.edb.file_id()).ok());
   std::vector<std::byte> bytes(
@@ -98,6 +101,36 @@ TEST_P(IoPipelineEquivalence, EdbIsByteIdenticalPipelineOnVsOff) {
   ASSERT_EQ(serial.size(), piped.size());
   EXPECT_EQ(std::memcmp(serial.data(), piped.data(), serial.size()), 0)
       << "EDB bytes diverge between serial and pipelined I/O";
+}
+
+// Plan-driven async read-ahead must neither change the EDB bytes nor the
+// *demand* page reads the cost model counts — on any backend. The serial
+// run is the reference for both.
+TEST_P(IoPipelineEquivalence, EdbAndDemandIoIdenticalAcrossAsyncBackends) {
+  const PipelineParam& param = GetParam();
+  IOLAP_ASSERT_OK_AND_ASSIGN(StarSchema schema, MakeDenseSchema());
+
+  IoStats serial_io;
+  std::vector<std::byte> serial =
+      RunAndDumpEdb(schema, param.algorithm, param.seed,
+                    IoPipelineOptions::Serial(), &serial_io);
+
+  std::vector<AsyncBackendKind> backends = {AsyncBackendKind::kPread};
+  if (IoUringSupported()) backends.push_back(AsyncBackendKind::kUring);
+  for (AsyncBackendKind backend : backends) {
+    IoPipelineOptions io;  // pipeline fully on
+    io.io_backend = backend;
+    IoStats piped_io;
+    std::vector<std::byte> piped =
+        RunAndDumpEdb(schema, param.algorithm, param.seed, io, &piped_io);
+    ASSERT_EQ(serial.size(), piped.size()) << AsyncBackendName(backend);
+    EXPECT_EQ(std::memcmp(serial.data(), piped.data(), serial.size()), 0)
+        << "EDB bytes diverge on backend " << AsyncBackendName(backend);
+    EXPECT_EQ(piped_io.page_reads, serial_io.page_reads)
+        << "demand reads diverge on backend " << AsyncBackendName(backend);
+    EXPECT_EQ(piped_io.page_writes, serial_io.page_writes)
+        << "page writes diverge on backend " << AsyncBackendName(backend);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -13,6 +13,7 @@
 //       [--threads=1]
 //       [--serial-io=1] [--sort-threads=N] [--merge-block-pages=N]
 //       [--read-ahead-pages=N] [--batched-writeback=0|1]
+//       [--io-backend=off|auto|uring|pread] [--plan-in-flight=N]
 //       [--checkpoint-dir=ckpt/] [--checkpoint-every=N] [--resume=1]
 //       [--io-retries=N] [--io-retry-backoff-us=100]
 //       Builds the Extended Database and writes it as CSV. --threads > 1
@@ -114,6 +115,14 @@ IoPipelineOptions ParsePipeline(const Flags& flags) {
       flags.GetInt("read-ahead-pages", io.read_ahead_pages));
   io.batched_writeback =
       flags.GetInt("batched-writeback", io.batched_writeback ? 1 : 0) != 0;
+  std::string backend = flags.GetString("io-backend", "");
+  if (!backend.empty() && !ParseAsyncBackend(backend, &io.io_backend)) {
+    std::fprintf(stderr,
+                 "unknown --io-backend=%s (off|auto|uring|pread), keeping %s\n",
+                 backend.c_str(), AsyncBackendName(io.io_backend));
+  }
+  io.plan_in_flight =
+      static_cast<int>(flags.GetInt("plan-in-flight", io.plan_in_flight));
   return io;
 }
 
