@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Documentation link and cross-reference checker.
+"""Documentation link, cross-reference and CLI-flag checker.
 
 Validates, for every tracked markdown file at the repo root and under
 docs/:
@@ -11,10 +11,21 @@ docs/:
     nearest preceding ``*.md`` filename on the same line, or against the
     current file when the line names no other document. The target must
     contain a numbered heading ``## N.``. Paper sections are written
-    "Section N" by convention and are not checked.
+    "Section N" by convention and are not checked;
+  * command-line flags ``--flag`` — every flag a doc mentions must be one
+    some binary actually reads (``Get{String,Int,Double}("flag")`` in
+    tools/, bench/ or examples/) or a whitelisted external tool's flag
+    (cmake/ctest). Flag mentions inside code fences count too — usage
+    examples live there — except fences marked as a non-shell language
+    (``cpp``/``python``…), whose ``--x`` is usually a decrement, not a
+    flag.
 
-Additionally verifies that every benchmark binary (``bench/bench_*.cpp``)
-is documented: its stem must appear in a ``##`` heading of EXPERIMENTS.md.
+Additionally verifies the two directions of tool documentation:
+
+  * every flag ``tools/iolap_cli.cpp`` reads is documented in
+    docs/CLI.md (mentioned as ``--flag`` somewhere in that file);
+  * every benchmark binary (``bench/bench_*.cpp``) is documented: its
+    stem must appear in a ``##`` heading of EXPERIMENTS.md.
 
 Exit status 0 when everything resolves; 1 otherwise, listing every broken
 reference as file:line: message.
@@ -35,7 +46,26 @@ SECTION_RE = re.compile(r"§\s?(\d+)(?:\.\d+)*")
 MD_NAME_RE = re.compile(r"[\w./-]*\w\.md")
 HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
 NUMBERED_HEADING_RE = re.compile(r"^#{1,6}\s+(\d+)\.\s")
-CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)\s*([A-Za-z+]*)")
+
+# A flag mention: "--name" preceded by start-of-line or a delimiter (so a
+# C-style decrement "(--x" or an em-dash spelled "a--b" doesn't count).
+FLAG_USE_RE = re.compile(r"(?:^|[\s`'\"\[(|=<])--([a-z][a-z0-9_-]*)")
+# A flag definition in C++: flags.GetString("name", ...) etc.
+FLAG_DEF_RE = re.compile(r"Get(?:String|Int|Double)\(\s*\"([a-z][a-z0-9_-]*)\"")
+# Fence languages whose "--" is code, not a command line.
+NON_SHELL_FENCE = {"cpp", "c++", "c", "cc", "python", "py"}
+# Flags of external tools that build/test instructions legitimately show.
+EXTERNAL_TOOL_FLAGS = {
+    "build",              # cmake --build
+    "test-dir",           # ctest --test-dir
+    "output-on-failure",  # ctest --output-on-failure
+}
+# Directories whose C++ binaries define the repo's own flags.
+FLAG_SOURCE_DIRS = ("tools", "bench", "examples")
+
+CLI_SOURCE = os.path.join(REPO, "tools", "iolap_cli.cpp")
+CLI_DOC = os.path.join(REPO, "docs", "CLI.md")
 
 
 def doc_files():
@@ -55,24 +85,50 @@ def github_slug(heading):
 
 
 def scan(path):
-    """Returns (lines outside code fences, anchor slugs, numbered sections)."""
-    lines, anchors, sections = [], set(), set()
-    in_fence = False
+    """Returns (prose lines, flag-scannable lines, anchors, sections).
+
+    Prose lines exclude code fences entirely (links and § refs belong in
+    prose); flag-scannable lines additionally include the contents of
+    shell/plain fences, where usage examples mention flags.
+    """
+    lines, flag_lines, anchors, sections = [], [], set(), set()
+    fence_lang = None
     with open(path, encoding="utf-8") as f:
         for lineno, line in enumerate(f, 1):
-            if CODE_FENCE_RE.match(line):
-                in_fence = not in_fence
+            m = CODE_FENCE_RE.match(line)
+            if m:
+                fence_lang = None if fence_lang is not None \
+                    else m.group(2).lower()
                 continue
-            if in_fence:
+            if fence_lang is not None:
+                if fence_lang not in NON_SHELL_FENCE:
+                    flag_lines.append((lineno, line))
                 continue
             lines.append((lineno, line))
+            flag_lines.append((lineno, line))
             m = HEADING_RE.match(line)
             if m:
                 anchors.add(github_slug(m.group(2)))
             m = NUMBERED_HEADING_RE.match(line)
             if m:
                 sections.add(int(m.group(1)))
-    return lines, anchors, sections
+    return lines, flag_lines, anchors, sections
+
+
+def defined_flags(source_path):
+    """Flags a C++ binary reads via Flags::Get{String,Int,Double}."""
+    with open(source_path, encoding="utf-8") as f:
+        return set(FLAG_DEF_RE.findall(f.read()))
+
+
+def all_program_flags():
+    flags = set()
+    for directory in FLAG_SOURCE_DIRS:
+        root = os.path.join(REPO, directory)
+        for name in sorted(os.listdir(root)):
+            if name.endswith((".cpp", ".cc", ".h")):
+                flags |= defined_flags(os.path.join(root, name))
+    return flags
 
 
 def main():
@@ -85,11 +141,14 @@ def main():
             meta[path] = scan(path)
         return meta[path]
 
+    known_flags = all_program_flags() | EXTERNAL_TOOL_FLAGS
+    cli_flags = defined_flags(CLI_SOURCE)
+
     errors = []
     for path in files:
         rel = os.path.relpath(path, REPO)
         base = os.path.dirname(path)
-        lines, _, own_sections = meta[path]
+        lines, flag_lines, _, own_sections = meta[path]
         for lineno, line in lines:
             for m in LINK_RE.finditer(line):
                 target = m.group(1)
@@ -104,7 +163,7 @@ def main():
                 else:
                     resolved = path  # pure '#anchor'
                 if fragment and resolved.endswith(".md"):
-                    _, anchors, _ = target_meta(resolved)
+                    _, _, anchors, _ = target_meta(resolved)
                     if fragment not in anchors:
                         errors.append(
                             f"{rel}:{lineno}: anchor '#{fragment}' not found "
@@ -124,7 +183,7 @@ def main():
                             f"{rel}:{lineno}: §{section} references missing "
                             f"file '{named[-1]}'")
                         continue
-                    _, _, sections = target_meta(resolved)
+                    _, _, _, sections = target_meta(resolved)
                     where = os.path.relpath(resolved, REPO)
                 else:
                     sections, where = own_sections, rel
@@ -132,6 +191,23 @@ def main():
                     errors.append(
                         f"{rel}:{lineno}: §{section} has no numbered heading "
                         f"'## {section}.' in {where}")
+        for lineno, line in flag_lines:
+            for flag in FLAG_USE_RE.findall(line):
+                if flag not in known_flags:
+                    errors.append(
+                        f"{rel}:{lineno}: flag '--{flag}' is not read by any "
+                        f"binary under {'/'.join(FLAG_SOURCE_DIRS)} (stale "
+                        "flag, or add it to EXTERNAL_TOOL_FLAGS in "
+                        "scripts/check_docs.py)")
+
+    # Every CLI flag must be documented in docs/CLI.md.
+    documented = set()
+    for _, line in target_meta(CLI_DOC)[1]:
+        documented.update(FLAG_USE_RE.findall(line))
+    for flag in sorted(cli_flags - documented):
+        errors.append(
+            f"tools/iolap_cli.cpp: flag '--{flag}' is not documented in "
+            f"docs/CLI.md")
 
     experiments = os.path.join(REPO, "EXPERIMENTS.md")
     headings = " ".join(
@@ -153,8 +229,9 @@ def main():
         print(f"\n{len(errors)} broken documentation reference(s)",
               file=sys.stderr)
         return 1
-    print(f"checked {len(files)} files: all links, anchors and § references "
-          "resolve")
+    print(f"checked {len(files)} files: all links, anchors, § references "
+          f"and {len(known_flags)} known flags resolve; "
+          f"{len(cli_flags)} CLI flags documented")
     return 0
 
 

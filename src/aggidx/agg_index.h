@@ -3,7 +3,9 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <type_traits>
 #include <unordered_map>
@@ -20,6 +22,8 @@
 #include "storage/storage_env.h"
 
 namespace iolap {
+
+class ColumnarEdb;
 
 // ---------------------------------------------------------------------------
 // On-disk node layout (see docs/FORMAT.md). One node per 4 KiB page: a
@@ -164,6 +168,16 @@ class AggIndex : public EdbChangeListener {
   /// the caller falls back to its own (safely locked) scan.
   void set_rebuild_on_query(bool allowed);
 
+  /// Optional columnar scan source for (re)builds. The provider is called
+  /// at the start of every build; when it returns a mirror covering
+  /// exactly the EDB's current rows, the build scans the mirror instead of
+  /// the row file, decoding only measure + weight + leaf columns (never
+  /// fact_id). A null / short / long mirror falls back to the row scan.
+  /// The provider must be cheap and thread-safe; it runs under the index
+  /// mutex and must not call back into this index or the serve layer.
+  void set_columnar_provider(
+      std::function<std::shared_ptr<const ColumnarEdb>()> provider);
+
   /// Rebuilds now if the index is unbuilt or stale; a no-op otherwise.
   /// The mutation-path companion of the gate above — called where the
   /// caller knows no writer can be concurrent (e.g. after a commit, under
@@ -218,6 +232,7 @@ class AggIndex : public EdbChangeListener {
   bool built_ = false;
   bool stale_ = false;  // full rebuild required before any answer
   bool rebuild_on_query_ = true;  // see set_rebuild_on_query
+  std::function<std::shared_ptr<const ColumnarEdb>()> columnar_provider_;
   std::map<LeafKey, Partials> overlay_;  // cells added after the build
   std::vector<Rect> dirty_minmax_;       // regions with stale min/max
   std::map<LeafKey, CellDelta> pending_;  // in-flight batch deltas

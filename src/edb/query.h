@@ -14,6 +14,8 @@
 
 namespace iolap {
 
+class ColumnarEdb;
+
 enum class AggregateFunc { kSum, kCount, kAverage, kMin, kMax };
 
 /// Semantics for aggregating over imprecise facts, following the companion
@@ -60,6 +62,16 @@ inline bool RegionContainsLeaf(const StarSchema& schema,
     if (!schema.dim(d).Covers(region.node[d], leaf[d])) return false;
   }
   return true;
+}
+
+/// Does `region` constrain dimension `d` at all, i.e. does its node exclude
+/// at least one leaf? Unconstrained dimensions need no containment check —
+/// and no leaf column at all on the columnar scan path.
+inline bool RegionConstrainsDim(const StarSchema& schema,
+                                const QueryRegion& region, int d) {
+  const Hierarchy& h = schema.dim(d);
+  return h.leaf_begin(region.node[d]) != 0 ||
+         h.leaf_end(region.node[d]) != h.num_leaves();
 }
 
 /// The axis-aligned box of leaf ids `region` covers (bounds inclusive, the
@@ -189,6 +201,13 @@ class QueryEngine {
               const TypedFile<FactRecord>* facts = nullptr)
       : env_(env), schema_(schema), edb_(edb), facts_(facts) {}
 
+  /// Routes EDB scans through a columnar mirror of the same rows (in the
+  /// same order): aggregates and rollups then decode only the columns they
+  /// project, and answers stay byte-identical to the row path. Pass
+  /// nullptr to return to row-major scans. The mirror must stay valid for
+  /// the engine's lifetime; baseline-semantics fact scans are unaffected.
+  void set_columnar(const ColumnarEdb* columnar) { columnar_ = columnar; }
+
   /// SUM / COUNT / AVERAGE / MIN / MAX of the measure over the query region
   /// under the given semantics. The baseline semantics require a fact table.
   Result<AggregateResult> Aggregate(const QueryRegion& region,
@@ -219,6 +238,7 @@ class QueryEngine {
   const StarSchema* schema_;
   const TypedFile<EdbRecord>* edb_;
   const TypedFile<FactRecord>* facts_;
+  const ColumnarEdb* columnar_ = nullptr;
 };
 
 }  // namespace iolap

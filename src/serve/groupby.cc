@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "edb/columnar.h"
 #include "exec/parallel_for.h"
 #include "exec/parallel_scheduler.h"
 #include "obs/metrics.h"
@@ -158,11 +159,51 @@ Status ScanChunk(StorageEnv* env, const StarSchema* schema,
   return Status::Ok();
 }
 
+/// Columnar twin of ScanChunk: identical rows, order, filter outcomes and
+/// (g, weight, measure) doubles, but decodes only the projected columns —
+/// weight + measure + the leaf dimensions the region constrains or the
+/// rollup groups by. Tombstones are skipped on weight alone (sound because
+/// the conversion step rejects weight-0 rows that are not tombstones).
+template <typename Fn>
+Status ScanChunkColumnar(StorageEnv* env, const StarSchema* schema,
+                         const ColumnarEdb* columnar,
+                         const std::vector<RowRange>& parts,
+                         const QueryRegion& region, int dim, int level,
+                         int64_t* rows_seen, Fn&& fn) {
+  const Hierarchy* h = dim >= 0 ? &schema->dim(dim) : nullptr;
+  const EdbProjection proj = AggregateScanProjection(*schema, region, dim);
+  bool filter[kMaxDims] = {};
+  for (int d = 0; d < schema->num_dims(); ++d) {
+    filter[d] = RegionConstrainsDim(*schema, region, d);
+  }
+  int64_t seen = 0;
+  for (const RowRange& part : parts) {
+    IOLAP_RETURN_IF_ERROR(columnar->ScanRows(
+        env->pool(), part.begin, part.end, proj,
+        [&](const ColumnarEdb::Row& row) {
+          ++seen;
+          if (ColumnarEdb::IsTombstone(row.weight)) return;
+          for (int d = 0; d < schema->num_dims(); ++d) {
+            if (filter[d] &&
+                !schema->dim(d).Covers(region.node[d], row.leaf[d])) {
+              return;
+            }
+          }
+          const int32_t g =
+              h != nullptr ? h->LeafAncestorOrdinal(row.leaf[dim], level) : 0;
+          fn(g, row.weight, row.measure);
+        }));
+  }
+  *rows_seen += seen;
+  return Status::Ok();
+}
+
 }  // namespace
 
 Result<std::vector<AggregateResult>> GroupByEngine::LocalGroupBy(
     const std::vector<Chunk>& chunks, const QueryRegion& region, int dim,
-    int level, int64_t num_groups, GroupByStats* stats) {
+    int level, int64_t num_groups, GroupByStats* stats,
+    const ColumnarEdb* columnar) {
   if (local_queries_counter_ != nullptr) local_queries_counter_->Add(1);
   std::vector<AggregateResult> groups(num_groups);
   std::vector<std::unique_ptr<LocalAcc>> accs(chunks.size());
@@ -174,12 +215,18 @@ Result<std::vector<AggregateResult>> GroupByEngine::LocalGroupBy(
     ScheduledUnit& unit = units[c];
     unit.cost = unit_cost;
     unit.run = [this, &chunks, &accs, &rows, &region, dim, level, num_groups,
-                c]() -> Status {
+                columnar, c]() -> Status {
       auto acc =
           std::make_unique<LocalAcc>(num_groups, options_.dense_group_limit);
-      IOLAP_RETURN_IF_ERROR(ScanChunk(
-          env_, schema_, edb_, chunks[c].parts, region, dim, level, &rows[c],
-          [&acc](int32_t g, double w, double m) { acc->Add(g, w, m); }));
+      auto add = [&acc](int32_t g, double w, double m) { acc->Add(g, w, m); };
+      if (columnar != nullptr) {
+        IOLAP_RETURN_IF_ERROR(ScanChunkColumnar(env_, schema_, columnar,
+                                                chunks[c].parts, region, dim,
+                                                level, &rows[c], add));
+      } else {
+        IOLAP_RETURN_IF_ERROR(ScanChunk(env_, schema_, edb_, chunks[c].parts,
+                                        region, dim, level, &rows[c], add));
+      }
       accs[c] = std::move(acc);
       return Status::Ok();
     };
@@ -203,7 +250,8 @@ Result<std::vector<AggregateResult>> GroupByEngine::LocalGroupBy(
 
 Result<std::vector<AggregateResult>> GroupByEngine::RadixGroupBy(
     const std::vector<Chunk>& chunks, const QueryRegion& region, int dim,
-    int level, int64_t num_groups, GroupByStats* stats) {
+    int level, int64_t num_groups, GroupByStats* stats,
+    const ColumnarEdb* columnar) {
   if (radix_queries_counter_ != nullptr) radix_queries_counter_->Add(1);
   struct Triple {
     int32_t g;
@@ -219,12 +267,15 @@ Result<std::vector<AggregateResult>> GroupByEngine::RadixGroupBy(
   IOLAP_RETURN_IF_ERROR(ParallelFor(
       pool_, static_cast<int64_t>(chunks.size()), [&](int64_t c) -> Status {
         ChunkBuckets& buckets = partitioned[c];
+        auto add = [&buckets](int32_t g, double w, double m) {
+          buckets[g & (kRadixBuckets - 1)].push_back({g, w, m});
+        };
+        if (columnar != nullptr) {
+          return ScanChunkColumnar(env_, schema_, columnar, chunks[c].parts,
+                                   region, dim, level, &rows[c], add);
+        }
         return ScanChunk(env_, schema_, edb_, chunks[c].parts, region, dim,
-                         level, &rows[c],
-                         [&buckets](int32_t g, double w, double m) {
-                           buckets[g & (kRadixBuckets - 1)].push_back(
-                               {g, w, m});
-                         });
+                         level, &rows[c], add);
       }));
 
   // Phase 2: one task per bucket folds its rows in (chunk, row) order —
@@ -250,7 +301,7 @@ Result<std::vector<AggregateResult>> GroupByEngine::RadixGroupBy(
 
 Result<AggregateResult> GroupByEngine::Aggregate(
     const std::vector<RowRange>& ranges, const QueryRegion& region,
-    AggregateFunc func, GroupByStats* stats) {
+    AggregateFunc func, GroupByStats* stats, const ColumnarEdb* columnar) {
   GroupByStats local;
   GroupByStats* st = stats != nullptr ? stats : &local;
   const std::vector<Chunk> chunks = BuildChunks(ranges);
@@ -258,14 +309,15 @@ Result<AggregateResult> GroupByEngine::Aggregate(
   // the local variant.
   IOLAP_ASSIGN_OR_RETURN(
       std::vector<AggregateResult> groups,
-      LocalGroupBy(chunks, region, /*dim=*/-1, /*level=*/0, 1, st));
+      LocalGroupBy(chunks, region, /*dim=*/-1, /*level=*/0, 1, st, columnar));
   FinalizeAggregate(&groups[0], func);
   return groups[0];
 }
 
 Result<std::vector<AggregateResult>> GroupByEngine::RollUp(
     const std::vector<RowRange>& ranges, const QueryRegion& region, int dim,
-    int level, AggregateFunc func, GroupByStats* stats) {
+    int level, AggregateFunc func, GroupByStats* stats,
+    const ColumnarEdb* columnar) {
   if (dim < 0 || dim >= schema_->num_dims()) {
     return Status::InvalidArgument("rollup dimension out of range");
   }
@@ -282,11 +334,11 @@ Result<std::vector<AggregateResult>> GroupByEngine::RollUp(
   // once the group count dwarfs the matching rows per chunk.
   std::vector<AggregateResult> groups;
   if (num_groups > options_.radix_min_groups) {
-    IOLAP_ASSIGN_OR_RETURN(
-        groups, RadixGroupBy(chunks, region, dim, level, num_groups, st));
+    IOLAP_ASSIGN_OR_RETURN(groups, RadixGroupBy(chunks, region, dim, level,
+                                                num_groups, st, columnar));
   } else {
-    IOLAP_ASSIGN_OR_RETURN(
-        groups, LocalGroupBy(chunks, region, dim, level, num_groups, st));
+    IOLAP_ASSIGN_OR_RETURN(groups, LocalGroupBy(chunks, region, dim, level,
+                                                num_groups, st, columnar));
   }
   for (AggregateResult& g : groups) FinalizeAggregate(&g, func);
   return groups;

@@ -14,6 +14,8 @@
 
 namespace iolap {
 
+class ColumnarEdb;
+
 /// Half-open row-index range [begin, end) of the Extended Database.
 struct RowRange {
   int64_t begin = 0;
@@ -77,15 +79,23 @@ class GroupByEngine {
                 const GroupByOptions& options);
 
   /// Allocation-weighted point aggregate over `region`, scanning `ranges`.
+  /// With a non-null `columnar` (a mirror of the same rows as the row EDB,
+  /// in the same order), chunks scan the columnar extents and decode only
+  /// the columns the query projects (AggregateScanProjection) — same rows,
+  /// same order, same double arithmetic, so answers stay byte-identical to
+  /// the row path.
   Result<AggregateResult> Aggregate(const std::vector<RowRange>& ranges,
                                     const QueryRegion& region,
-                                    AggregateFunc func, GroupByStats* stats);
+                                    AggregateFunc func, GroupByStats* stats,
+                                    const ColumnarEdb* columnar = nullptr);
 
   /// Group-by (rollup): one aggregate per node of `dim` at `level`
-  /// restricted to `region`, indexed by node ordinal.
+  /// restricted to `region`, indexed by node ordinal. `columnar` as in
+  /// Aggregate.
   Result<std::vector<AggregateResult>> RollUp(
       const std::vector<RowRange>& ranges, const QueryRegion& region, int dim,
-      int level, AggregateFunc func, GroupByStats* stats);
+      int level, AggregateFunc func, GroupByStats* stats,
+      const ColumnarEdb* columnar = nullptr);
 
  private:
   struct Chunk {
@@ -97,10 +107,12 @@ class GroupByEngine {
 
   Result<std::vector<AggregateResult>> LocalGroupBy(
       const std::vector<Chunk>& chunks, const QueryRegion& region, int dim,
-      int level, int64_t num_groups, GroupByStats* stats);
+      int level, int64_t num_groups, GroupByStats* stats,
+      const ColumnarEdb* columnar);
   Result<std::vector<AggregateResult>> RadixGroupBy(
       const std::vector<Chunk>& chunks, const QueryRegion& region, int dim,
-      int level, int64_t num_groups, GroupByStats* stats);
+      int level, int64_t num_groups, GroupByStats* stats,
+      const ColumnarEdb* columnar);
 
   StorageEnv* env_;
   const StarSchema* schema_;

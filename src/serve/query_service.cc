@@ -1,10 +1,12 @@
 #include "serve/query_service.h"
 
 #include <algorithm>
+#include <memory>
 #include <string>
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "edb/columnar.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -49,6 +51,10 @@ QueryService::QueryService(MaintenanceManager* manager,
   if (options_.agg_index) {
     agg_index_ = std::make_unique<AggIndex>(env_, schema_, edb_);
     manager_->set_change_listener(agg_index_.get());
+    if (options_.edb_format == EdbFormat::kColumnar) {
+      agg_index_->set_columnar_provider(
+          [this] { return ColumnarSnapshot(); });
+    }
   }
   GroupByOptions gopts;
   gopts.chunk_rows = options_.min_partition_rows;
@@ -88,6 +94,10 @@ QueryService::QueryService(StorageEnv* env, const StarSchema* schema,
   }
   if (options_.agg_index) {
     agg_index_ = std::make_unique<AggIndex>(env_, schema_, edb_);
+    if (options_.edb_format == EdbFormat::kColumnar) {
+      agg_index_->set_columnar_provider(
+          [this] { return ColumnarSnapshot(); });
+    }
   }
   GroupByOptions gopts;
   gopts.chunk_rows = options_.min_partition_rows;
@@ -128,6 +138,13 @@ Status QueryService::EnsureShardsReady() {
   std::lock_guard<std::mutex> init_lock(init_mu_);
   if (shards_ready_.load(std::memory_order_acquire)) return Status::Ok();
   IOLAP_RETURN_IF_ERROR(InitShardsLocked());
+  if (options_.edb_format == EdbFormat::kColumnar &&
+      ColumnarSnapshot() == nullptr) {
+    // Front-load the mirror conversion while everything is quiescent.
+    // Failure is not fatal: queries simply scan the row file.
+    const Status built = BuildColumnar();
+    (void)built;
+  }
   shards_ready_.store(true, std::memory_order_release);
   return Status::Ok();
 }
@@ -345,13 +362,32 @@ std::vector<RowRange> QueryService::CollectRanges(
   return merged;
 }
 
+namespace {
+
+/// A scan may use the mirror only if it covers every row the scan's ranges
+/// reference. Ranges of the locked shards never reach past the mirror's
+/// rows while a concurrent mutation is appending (the mutation holds the
+/// touched shards exclusively and drops the mirror), but the check keeps
+/// correctness independent of that reasoning.
+bool MirrorCoversRanges(const ColumnarEdb* mirror,
+                        const std::vector<RowRange>& ranges) {
+  return mirror != nullptr &&
+         (ranges.empty() || ranges.back().end <= mirror->num_rows());
+}
+
+}  // namespace
+
 Result<AggregateResult> QueryService::ScanAggregate(const LockedShards& ls,
                                                     const QueryRegion& region,
                                                     AggregateFunc func) {
   GroupByStats gstats;
+  const std::vector<RowRange> ranges = CollectRanges(ls);
+  const std::shared_ptr<const ColumnarEdb> mirror = ColumnarSnapshot();
+  const ColumnarEdb* columnar =
+      MirrorCoversRanges(mirror.get(), ranges) ? mirror.get() : nullptr;
   IOLAP_ASSIGN_OR_RETURN(
       AggregateResult out,
-      groupby_->Aggregate(CollectRanges(ls), region, func, &gstats));
+      groupby_->Aggregate(ranges, region, func, &gstats, columnar));
   RecordScanStats(gstats);
   return out;
 }
@@ -360,9 +396,13 @@ Result<std::vector<AggregateResult>> QueryService::ScanRollUp(
     const LockedShards& ls, const QueryRegion& region, int dim, int level,
     AggregateFunc func) {
   GroupByStats gstats;
+  const std::vector<RowRange> ranges = CollectRanges(ls);
+  const std::shared_ptr<const ColumnarEdb> mirror = ColumnarSnapshot();
+  const ColumnarEdb* columnar =
+      MirrorCoversRanges(mirror.get(), ranges) ? mirror.get() : nullptr;
   IOLAP_ASSIGN_OR_RETURN(
       std::vector<AggregateResult> groups,
-      groupby_->RollUp(CollectRanges(ls), region, dim, level, func, &gstats));
+      groupby_->RollUp(ranges, region, dim, level, func, &gstats, columnar));
   RecordScanStats(gstats);
   return groups;
 }
@@ -500,6 +540,10 @@ Result<std::vector<EdbRecord>> QueryService::CompletionsOf(
   LockedShards ls = AcquireShared(all, nullptr);
   if (generation != nullptr) *generation = ls.global_gen;
   QueryEngine engine(env_, schema_, edb_);
+  const std::shared_ptr<const ColumnarEdb> mirror = ColumnarSnapshot();
+  if (mirror != nullptr && mirror->num_rows() == edb_->size()) {
+    engine.set_columnar(mirror.get());
+  }
   return engine.CompletionsOf(fact_id);
 }
 
@@ -552,6 +596,12 @@ Status QueryService::MutateLocked(
   // Stats may be reused across batches; only this batch's boxes matter.
   const size_t box_start = s->touched_boxes.size();
   Status status = apply(s);
+
+  // The mirror is a snapshot of the pre-batch EDB; drop it (success or
+  // failure — either may have changed rows). In-flight scans on untouched
+  // shards keep their reference until they finish; new queries fall back
+  // to the row path until RefreshColumnar / Compact rebuilds it.
+  if (options_.edb_format == EdbFormat::kColumnar) DropColumnar();
 
   if (shards_.size() > 1) {
     // Re-derive the touched shards' row ranges even on failure — a failed
@@ -662,6 +712,7 @@ Result<int64_t> QueryService::Compact() {
   std::vector<std::unique_lock<std::shared_mutex>> shard_locks;
   shard_locks.reserve(shards_.size());
   for (auto& shard : shards_) shard_locks.emplace_back(shard->mu);
+  if (options_.edb_format == EdbFormat::kColumnar) DropColumnar();
   Result<int64_t> removed = manager_->CompactEdb();
   if (!removed.ok()) {
     // The rewrite may have partially applied; drop everything and force a
@@ -690,7 +741,59 @@ Result<int64_t> QueryService::Compact() {
   // On success the logical EDB content is unchanged (only tombstones were
   // squeezed out), so cached results (and the index, which is keyed by
   // cell, not row position) stay valid and the generation holds.
+  if (removed.ok() && options_.edb_format == EdbFormat::kColumnar) {
+    // Everything is quiescent under the shard locks: rebuild the mirror
+    // from the compacted (tombstone-free) EDB. Failure just leaves
+    // queries on the row path.
+    const Status built = BuildColumnar();
+    (void)built;
+  }
   return removed;
+}
+
+// ---------------------------------------------------------------------------
+// Columnar mirror lifecycle.
+
+std::shared_ptr<const ColumnarEdb> QueryService::ColumnarSnapshot() const {
+  std::lock_guard<std::mutex> lock(columnar_mu_);
+  return columnar_;
+}
+
+bool QueryService::columnar_active() const {
+  return ColumnarSnapshot() != nullptr;
+}
+
+void QueryService::DropColumnar() {
+  std::lock_guard<std::mutex> lock(columnar_mu_);
+  columnar_.reset();  // file deleted once the last in-flight scan releases
+}
+
+Status QueryService::BuildColumnar() {
+  ColumnarWriteOptions copts;
+  copts.rows_per_extent = options_.columnar_rows_per_extent;
+  IOLAP_ASSIGN_OR_RETURN(ColumnarEdb mirror,
+                         WriteColumnarEdb(*env_, *schema_, *edb_, copts));
+  StorageEnv* env = env_;
+  std::shared_ptr<const ColumnarEdb> next(
+      new ColumnarEdb(std::move(mirror)), [env](const ColumnarEdb* c) {
+        const Status evicted = env->pool().EvictFile(c->file_id());
+        (void)evicted;
+        const Status deleted = env->disk().DeleteFile(c->file_id());
+        (void)deleted;
+        delete c;
+      });
+  std::lock_guard<std::mutex> lock(columnar_mu_);
+  columnar_ = std::move(next);
+  return Status::Ok();
+}
+
+Status QueryService::RefreshColumnar() {
+  if (options_.edb_format != EdbFormat::kColumnar) return Status::Ok();
+  IOLAP_RETURN_IF_ERROR(EnsureShardsReady());
+  // Exclude mutators (the EDB must hold still for the conversion pass);
+  // concurrent queries keep answering on whichever path is current.
+  std::lock_guard<std::mutex> mutation_lock(mutation_mu_);
+  return BuildColumnar();
 }
 
 }  // namespace iolap

@@ -21,6 +21,17 @@
 
 namespace iolap {
 
+class ColumnarEdb;
+
+/// Which on-disk EDB layout query scans read. The row-major file is always
+/// the writer / maintenance format; kColumnar adds a compressed
+/// column-major mirror of it (edb/columnar.h) that scans prefer whenever
+/// it is in sync.
+enum class EdbFormat {
+  kRow,
+  kColumnar,
+};
+
 struct ServeOptions {
   /// Worker threads for parallel group-by scans. 1 = scan inline on the
   /// calling thread (no pool).
@@ -47,6 +58,15 @@ struct ServeOptions {
   /// Rollup group counts strictly above this use the radix-partitioned
   /// group-by variant (see GroupByOptions::radix_min_groups).
   int64_t radix_min_groups = 4096;
+  /// kColumnar converts the EDB into a compressed columnar mirror at
+  /// startup (and after Compact / RefreshColumnar); aggregate scans then
+  /// decode only the columns they project, roughly halving data pages
+  /// read. Any mutation drops the mirror and queries transparently fall
+  /// back to the row-major file until it is refreshed. Answers are
+  /// byte-identical on either path (see GroupByEngine).
+  EdbFormat edb_format = EdbFormat::kRow;
+  /// Rows per extent of the columnar mirror (ColumnarWriteOptions).
+  int64_t columnar_rows_per_extent = 16384;
 };
 
 /// Per-shard generations pinned by one query: shard `first_shard + i` was
@@ -160,8 +180,20 @@ class QueryService {
   /// Compacts tombstones out of the EDB (maintained mode only). Logical
   /// content is unchanged, so cached results stay valid and the
   /// generation does not move; row positions do change, so every shard is
-  /// locked and the per-shard row ranges are rebuilt.
+  /// locked and the per-shard row ranges are rebuilt. In kColumnar mode
+  /// the mirror is rebuilt from the compacted EDB.
   Result<int64_t> Compact();
+
+  /// Rebuilds the columnar mirror from the current EDB (kColumnar mode
+  /// only; an immediate no-op in kRow mode). Queries keep running on the
+  /// row path while the rebuild scans; the swap to the new mirror is
+  /// atomic. Call after a run of mutations to restore columnar scans —
+  /// mutations drop the mirror rather than maintain it.
+  Status RefreshColumnar();
+
+  /// Whether queries are currently scanning the columnar mirror (kColumnar
+  /// mode, mirror built and not dropped by a mutation).
+  bool columnar_active() const;
 
   int64_t generation() const {
     return generation_.load(std::memory_order_acquire);
@@ -230,6 +262,16 @@ class QueryService {
   Status MutateLocked(const std::vector<Rect>& rects, MaintenanceStats* stats,
                       const std::function<Status(MaintenanceStats*)>& apply);
 
+  /// Current mirror, or null (kRow mode, build failed, or dropped by a
+  /// mutation). The shared_ptr keeps the mirror's file alive for the
+  /// duration of a scan even if a concurrent mutation drops it.
+  std::shared_ptr<const ColumnarEdb> ColumnarSnapshot() const;
+  /// Swaps the mirror out; its file is evicted and deleted once the last
+  /// in-flight scan releases it.
+  void DropColumnar();
+  /// Converts the current EDB into a fresh mirror and installs it.
+  Status BuildColumnar();
+
   Result<AggregateResult> ScanAggregate(const LockedShards& ls,
                                         const QueryRegion& region,
                                         AggregateFunc func);
@@ -258,6 +300,11 @@ class QueryService {
   ShardMap shard_map_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<int64_t> generation_{0};
+
+  /// Leaf mutex guarding only the mirror pointer (no other lock is ever
+  /// taken while held). Readers copy the shared_ptr and scan lock-free.
+  mutable std::mutex columnar_mu_;
+  std::shared_ptr<const ColumnarEdb> columnar_;
 
   // Cached global-metrics handles (null when observability is disabled).
   class Counter* queries_counter_;

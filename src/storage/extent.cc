@@ -1,0 +1,236 @@
+#include "storage/extent.h"
+
+#include <algorithm>
+
+namespace iolap {
+namespace {
+
+// Appends `len` raw bytes to `out`.
+void AppendBytes(const void* src, int64_t len, std::vector<std::byte>* out) {
+  const auto* p = static_cast<const std::byte*>(src);
+  out->insert(out->end(), p, p + len);
+}
+
+// Appends one LEB128 varint.
+void AppendVarint(uint64_t v, std::vector<std::byte>* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<std::byte>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<std::byte>(v));
+}
+
+// Reads one LEB128 varint from [p, end); advances p. False on truncation or
+// a varint longer than kMaxVarintBytes.
+bool ReadVarint(const std::byte** p, const std::byte* end, uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  for (int i = 0; i < kMaxVarintBytes; ++i) {
+    if (*p == end) return false;
+    const uint8_t b = static_cast<uint8_t>(**p);
+    ++*p;
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      *out = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+// Fixed code width for a dictionary of `dict_size` entries.
+int DictCodeWidth(uint32_t dict_size) {
+  if (dict_size <= 1) return 0;
+  if (dict_size <= (1u << 8)) return 1;
+  if (dict_size <= (1u << 16)) return 2;
+  return 4;
+}
+
+}  // namespace
+
+ColumnDesc EncodePlain64(const void* vals, int64_t n,
+                         std::vector<std::byte>* out) {
+  ColumnDesc desc;
+  desc.encoding = static_cast<uint16_t>(ColumnEncoding::kPlain64);
+  desc.byte_length = 8 * n;
+  AppendBytes(vals, desc.byte_length, out);
+  return desc;
+}
+
+ColumnDesc EncodePlain32(const int32_t* vals, int64_t n,
+                         std::vector<std::byte>* out) {
+  ColumnDesc desc;
+  desc.encoding = static_cast<uint16_t>(ColumnEncoding::kPlain32);
+  desc.byte_length = 4 * n;
+  AppendBytes(vals, desc.byte_length, out);
+  return desc;
+}
+
+ColumnDesc EncodeInt32Auto(const int32_t* vals, int64_t n,
+                           std::vector<std::byte>* out) {
+  // Build the ascending dictionary; codes index it by lower_bound.
+  std::vector<int32_t> dict(vals, vals + n);
+  std::sort(dict.begin(), dict.end());
+  dict.erase(std::unique(dict.begin(), dict.end()), dict.end());
+  const auto dict_size = static_cast<uint32_t>(dict.size());
+  const int width = DictCodeWidth(dict_size);
+  const int64_t dict_bytes =
+      4 + 4 * static_cast<int64_t>(dict_size) + width * n;
+  if (n == 0 || dict_bytes >= 4 * n) return EncodePlain32(vals, n, out);
+
+  ColumnDesc desc;
+  desc.encoding = static_cast<uint16_t>(ColumnEncoding::kDict32);
+  desc.dict_size = dict_size;
+  desc.byte_length = dict_bytes;
+  out->reserve(out->size() + dict_bytes);
+  AppendBytes(&dict_size, 4, out);
+  AppendBytes(dict.data(), 4 * static_cast<int64_t>(dict_size), out);
+  for (int64_t i = 0; i < n; ++i) {
+    const auto code = static_cast<uint32_t>(
+        std::lower_bound(dict.begin(), dict.end(), vals[i]) - dict.begin());
+    AppendBytes(&code, width, out);
+  }
+  return desc;
+}
+
+ColumnDesc EncodeDeltaZigZag64(const int64_t* vals, int64_t n,
+                               std::vector<std::byte>* out) {
+  ColumnDesc desc;
+  desc.encoding = static_cast<uint16_t>(ColumnEncoding::kDeltaZigZag64);
+  const size_t start = out->size();
+  if (n > 0) {
+    AppendBytes(&vals[0], 8, out);
+    for (int64_t i = 1; i < n; ++i) {
+      AppendVarint(
+          ZigZagEncode64(static_cast<int64_t>(static_cast<uint64_t>(vals[i]) -
+                                              static_cast<uint64_t>(vals[i - 1]))),
+          out);
+    }
+  }
+  desc.byte_length = static_cast<int64_t>(out->size() - start);
+  return desc;
+}
+
+ColumnWindows WindowsFor(const ColumnDesc& col, int64_t row_begin,
+                         int64_t row_end) {
+  ColumnWindows w;
+  switch (static_cast<ColumnEncoding>(col.encoding)) {
+    case ColumnEncoding::kPlain64:
+      w.body = {8 * row_begin, 8 * row_end};
+      break;
+    case ColumnEncoding::kPlain32:
+      w.body = {4 * row_begin, 4 * row_end};
+      break;
+    case ColumnEncoding::kDict32: {
+      const int64_t code_off = 4 + 4 * static_cast<int64_t>(col.dict_size);
+      const int64_t width = DictCodeWidth(col.dict_size);
+      w.head = {0, code_off};
+      w.body = {code_off + width * row_begin, code_off + width * row_end};
+      break;
+    }
+    case ColumnEncoding::kDeltaZigZag64:
+      w.body = {0, row_end == 0
+                       ? 0
+                       : std::min(col.byte_length,
+                                  8 + kMaxVarintBytes * (row_end - 1))};
+      break;
+  }
+  return w;
+}
+
+Status DecodePlain64(const ColumnDesc& col, const std::byte* body,
+                     int64_t body_len, int64_t row_begin, int64_t row_end,
+                     void* out) {
+  if (col.encoding != static_cast<uint16_t>(ColumnEncoding::kPlain64)) {
+    return Status::InvalidArgument("DecodePlain64: wrong encoding");
+  }
+  const int64_t need = 8 * (row_end - row_begin);
+  if (need < 0 || body_len < need || 8 * row_end > col.byte_length) {
+    return Status::InvalidArgument("DecodePlain64: window too small");
+  }
+  std::memcpy(out, body, static_cast<size_t>(need));
+  return Status::Ok();
+}
+
+Status DecodeInt32(const ColumnDesc& col, const std::byte* head,
+                   int64_t head_len, const std::byte* body, int64_t body_len,
+                   int64_t row_begin, int64_t row_end, int32_t* out) {
+  const int64_t rows = row_end - row_begin;
+  if (rows < 0) return Status::InvalidArgument("DecodeInt32: bad row range");
+  if (col.encoding == static_cast<uint16_t>(ColumnEncoding::kPlain32)) {
+    if (body_len < 4 * rows || 4 * row_end > col.byte_length) {
+      return Status::InvalidArgument("DecodeInt32: window too small");
+    }
+    std::memcpy(out, body, static_cast<size_t>(4 * rows));
+    return Status::Ok();
+  }
+  if (col.encoding != static_cast<uint16_t>(ColumnEncoding::kDict32)) {
+    return Status::InvalidArgument("DecodeInt32: wrong encoding");
+  }
+  const int64_t dict_bytes = 4 * static_cast<int64_t>(col.dict_size);
+  if (head_len < 4 + dict_bytes) {
+    return Status::InvalidArgument("DecodeInt32: dictionary window too small");
+  }
+  uint32_t stored_size = 0;
+  std::memcpy(&stored_size, head, 4);
+  if (stored_size != col.dict_size) {
+    return Status::InvalidArgument("DecodeInt32: dictionary size mismatch");
+  }
+  const auto* dict = head + 4;
+  const int64_t width = DictCodeWidth(col.dict_size);
+  if (body_len < width * rows) {
+    return Status::InvalidArgument("DecodeInt32: code window too small");
+  }
+  if (width == 0) {
+    // Constant column: every row is the single dictionary entry.
+    if (col.dict_size == 0 && rows > 0) {
+      return Status::InvalidArgument("DecodeInt32: empty dictionary");
+    }
+    int32_t only = 0;
+    if (col.dict_size == 1) std::memcpy(&only, dict, 4);
+    std::fill(out, out + rows, only);
+    return Status::Ok();
+  }
+  for (int64_t i = 0; i < rows; ++i) {
+    uint32_t code = 0;
+    std::memcpy(&code, body + width * i, static_cast<size_t>(width));
+    if (code >= col.dict_size) {
+      return Status::InvalidArgument("DecodeInt32: code out of range");
+    }
+    std::memcpy(&out[i], dict + 4 * static_cast<int64_t>(code), 4);
+  }
+  return Status::Ok();
+}
+
+Status DecodeDeltaZigZag64(const ColumnDesc& col, const std::byte* body,
+                           int64_t body_len, int64_t row_begin,
+                           int64_t row_end, int64_t* out) {
+  if (col.encoding != static_cast<uint16_t>(ColumnEncoding::kDeltaZigZag64)) {
+    return Status::InvalidArgument("DecodeDeltaZigZag64: wrong encoding");
+  }
+  if (row_begin < 0 || row_end < row_begin) {
+    return Status::InvalidArgument("DecodeDeltaZigZag64: bad row range");
+  }
+  if (row_end == 0) return Status::Ok();
+  if (body_len < 8) {
+    return Status::InvalidArgument("DecodeDeltaZigZag64: truncated base");
+  }
+  int64_t value = 0;
+  std::memcpy(&value, body, 8);
+  if (row_begin == 0) out[0] = value;
+  const std::byte* p = body + 8;
+  const std::byte* end = body + body_len;
+  for (int64_t row = 1; row < row_end; ++row) {
+    uint64_t zz = 0;
+    if (!ReadVarint(&p, end, &zz)) {
+      return Status::InvalidArgument("DecodeDeltaZigZag64: truncated varint");
+    }
+    value = static_cast<int64_t>(static_cast<uint64_t>(value) +
+                                 static_cast<uint64_t>(ZigZagDecode64(zz)));
+    if (row >= row_begin) out[row - row_begin] = value;
+  }
+  return Status::Ok();
+}
+
+}  // namespace iolap

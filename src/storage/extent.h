@@ -1,0 +1,208 @@
+#ifndef IOLAP_STORAGE_EXTENT_H_
+#define IOLAP_STORAGE_EXTENT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/disk_manager.h"
+
+namespace iolap {
+
+// Column-major compressed extent format: the encoding layer.
+//
+// An extent is a fixed run of rows stored as per-column byte streams, each
+// stream padded to whole pages so any column can be read without touching
+// the others. This header defines the on-disk PODs (extent footer, extent
+// directory, file footer) and the four lightweight column encodings; the
+// EDB-specific column layout and the writer/reader live in
+// `edb/columnar.h`. The byte-level specification every struct and encoder
+// here must match is docs/FORMAT.md ("Columnar EDB extents") — change them
+// together.
+//
+// All multi-byte values are little-endian (the only byte order the library
+// targets; the row formats already rely on it via raw struct paging).
+
+/// The four column encodings. Values are part of the on-disk format.
+enum class ColumnEncoding : uint16_t {
+  /// Raw 8-byte values (doubles or int64 bit patterns), 8 * rows bytes.
+  kPlain64 = 0,
+  /// Raw 4-byte int32 values, 4 * rows bytes.
+  kPlain32 = 1,
+  /// Dictionary: u32 dict_size, dict_size ascending distinct int32 values,
+  /// then one fixed-width code per row indexing the dictionary. Code width
+  /// is 0 bytes (dict_size == 1: the column is constant), 1 (<= 256), 2
+  /// (<= 65536) or 4 bytes.
+  kDict32 = 2,
+  /// int64 deltas: row 0 as a raw 8-byte base, then one LEB128 varint of
+  /// zigzag(value[i] - value[i-1]) per later row.
+  kDeltaZigZag64 = 3,
+};
+
+/// "IOLAPXT1" / "IOLAPCF1" read as little-endian u64.
+inline constexpr uint64_t kExtentMagic = 0x31545850414c4f49ULL;
+inline constexpr uint64_t kColumnarFileMagic = 0x31464350414c4f49ULL;
+inline constexpr uint32_t kColumnarVersion = 1;
+
+/// Columns one extent footer can describe. The columnar EDB uses
+/// 3 + kMaxDims = 9; the slack keeps the footer layout stable if a column
+/// is added.
+inline constexpr int kMaxExtentColumns = 12;
+
+/// Extent/file flag: holds at least one maintenance tombstone row.
+inline constexpr uint32_t kExtentFlagTombstones = 1u << 0;
+
+/// Pages occupied by `bytes` of encoded stream: ceiling division, and an
+/// exact page multiple must not gain a stray page (regression-tested in
+/// columnar_test.cc).
+inline constexpr int64_t PagesForBytes(int64_t bytes) {
+  return (bytes + static_cast<int64_t>(kPageSize) - 1) /
+         static_cast<int64_t>(kPageSize);
+}
+
+/// One column of one extent. `first_page` is relative to the extent's first
+/// page; `byte_length` is the exact encoded stream length (the page tail is
+/// zero padding); `num_pages == PagesForBytes(byte_length)`.
+struct ColumnDesc {
+  uint16_t encoding = 0;  // ColumnEncoding
+  uint16_t reserved = 0;
+  uint32_t dict_size = 0;  // kDict32 only, else 0
+  int64_t byte_length = 0;
+  int64_t first_page = 0;
+  int64_t num_pages = 0;
+};
+static_assert(std::is_trivially_copyable_v<ColumnDesc>);
+static_assert(sizeof(ColumnDesc) == 32);
+
+/// Last page of every extent. Unused trailing `cols` entries are zero.
+struct ExtentFooter {
+  uint64_t magic = kExtentMagic;
+  int64_t row_count = 0;
+  int32_t num_cols = 0;
+  uint32_t flags = 0;
+  ColumnDesc cols[kMaxExtentColumns] = {};
+};
+static_assert(std::is_trivially_copyable_v<ExtentFooter>);
+static_assert(sizeof(ExtentFooter) == 24 + kMaxExtentColumns * 32);
+static_assert(sizeof(ExtentFooter) <= kPageSize);
+
+/// One directory entry per extent, packed into the directory pages that
+/// precede the file footer. `first_page` is absolute; `num_pages` counts
+/// the column pages plus the footer page.
+struct ExtentDirEntry {
+  int64_t first_page = 0;
+  int64_t num_pages = 0;
+  int64_t first_row = 0;
+  int64_t row_count = 0;
+};
+static_assert(std::is_trivially_copyable_v<ExtentDirEntry>);
+static_assert(sizeof(ExtentDirEntry) == 32);
+
+inline constexpr int64_t kExtentDirEntriesPerPage =
+    static_cast<int64_t>(kPageSize / sizeof(ExtentDirEntry));
+
+/// Very last page of a columnar file; a reader starts here.
+struct ColumnarFileFooter {
+  uint64_t magic = kColumnarFileMagic;
+  uint32_t version = kColumnarVersion;
+  int32_t num_dims = 0;
+  int64_t num_extents = 0;
+  int64_t total_rows = 0;
+  int64_t directory_first_page = 0;
+  int64_t directory_pages = 0;
+  int64_t rows_per_extent = 0;  // writer's capacity; only the last is short
+  uint32_t flags = 0;
+  uint32_t reserved = 0;
+};
+static_assert(std::is_trivially_copyable_v<ColumnarFileFooter>);
+static_assert(sizeof(ColumnarFileFooter) == 64);
+
+// ---------------------------------------------------------------------------
+// Zigzag + LEB128 varint primitives (kDeltaZigZag64).
+
+inline uint64_t ZigZagEncode64(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode64(uint64_t u) {
+  return static_cast<int64_t>(u >> 1) ^ -static_cast<int64_t>(u & 1);
+}
+
+/// Longest LEB128 encoding of a u64 (10 bytes) — bounds the stream prefix a
+/// decoder must fetch for a row range.
+inline constexpr int64_t kMaxVarintBytes = 10;
+
+// ---------------------------------------------------------------------------
+// Encoders. Each appends the exact byte stream of one column to `out` and
+// returns its ColumnDesc with `encoding`, `dict_size` and `byte_length`
+// filled; the extent writer assigns `first_page`/`num_pages`.
+
+/// kPlain64 over 8-byte values (`vals` points at n doubles or int64s).
+ColumnDesc EncodePlain64(const void* vals, int64_t n,
+                         std::vector<std::byte>* out);
+
+/// kPlain32.
+ColumnDesc EncodePlain32(const int32_t* vals, int64_t n,
+                         std::vector<std::byte>* out);
+
+/// kDict32 when the dictionary stream is strictly smaller than kPlain32,
+/// else kPlain32 — the deterministic rule the format spec fixes.
+ColumnDesc EncodeInt32Auto(const int32_t* vals, int64_t n,
+                           std::vector<std::byte>* out);
+
+/// kDeltaZigZag64.
+ColumnDesc EncodeDeltaZigZag64(const int64_t* vals, int64_t n,
+                               std::vector<std::byte>* out);
+
+// ---------------------------------------------------------------------------
+// Decoders. A decoder never sees whole pages: the caller fetches the byte
+// windows WindowsFor() names and hands them over, which is what lets a
+// projected scan of rows [r0, r1) pay only for the pages those windows
+// cover. All decoders validate their input and return InvalidArgument on a
+// malformed stream (truncated varint, out-of-range code, short window).
+
+struct ByteRange {
+  int64_t begin = 0;
+  int64_t end = 0;  // exclusive
+  int64_t size() const { return end - begin; }
+  bool empty() const { return end <= begin; }
+};
+
+/// The stream windows needed to decode rows [row_begin, row_end):
+///  * kPlain64 / kPlain32 — `body` is the fixed-width slice; `head` empty.
+///  * kDict32 — `head` is the dictionary header, `body` the code slice.
+///  * kDeltaZigZag64 — `head` empty, `body` the prefix [0, bound) with
+///    bound = min(byte_length, 8 + kMaxVarintBytes * (row_end - 1)); the
+///    decoder stops after producing row_end values.
+struct ColumnWindows {
+  ByteRange head;
+  ByteRange body;
+};
+ColumnWindows WindowsFor(const ColumnDesc& col, int64_t row_begin,
+                         int64_t row_end);
+
+/// Decodes rows [row_begin, row_end) of a kPlain64 column into `out`
+/// (8 bytes per row). `body` holds the window WindowsFor() named.
+Status DecodePlain64(const ColumnDesc& col, const std::byte* body,
+                     int64_t body_len, int64_t row_begin, int64_t row_end,
+                     void* out);
+
+/// Decodes rows of a kPlain32 *or* kDict32 column into int32 values.
+/// `head`/`body` hold the windows WindowsFor() named (head unused for
+/// kPlain32).
+Status DecodeInt32(const ColumnDesc& col, const std::byte* head,
+                   int64_t head_len, const std::byte* body, int64_t body_len,
+                   int64_t row_begin, int64_t row_end, int32_t* out);
+
+/// Decodes rows of a kDeltaZigZag64 column. `body` holds the stream prefix
+/// WindowsFor() named; decoding always starts at row 0 internally and
+/// emits rows [row_begin, row_end).
+Status DecodeDeltaZigZag64(const ColumnDesc& col, const std::byte* body,
+                           int64_t body_len, int64_t row_begin,
+                           int64_t row_end, int64_t* out);
+
+}  // namespace iolap
+
+#endif  // IOLAP_STORAGE_EXTENT_H_

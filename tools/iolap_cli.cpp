@@ -35,6 +35,10 @@
 //       [--serve-threads=4] [--cache-slots=4096] [--min-partition-rows=4096]
 //       [--shards=1] [--agg-index=0]
 //       [--agg-index=1]   # answer cache misses from the aggregate index
+//       [--edb-format=row|columnar] [--columnar-rows-per-extent=16384]
+//       # columnar: scans read a compressed column-major mirror of the EDB
+//       # (projected columns only; mutations fall back to row until the
+//       # next compact). Answers are identical either way.
 //       Builds the Extended Database behind the maintenance layer and
 //       replays a query/mutation trace through the serving subsystem
 //       (partitioned parallel scans + generation-versioned aggregate
@@ -454,6 +458,16 @@ int CmdServe(const Flags& flags) {
   sopts.cache_slots = flags.GetInt("cache-slots", 4096);
   sopts.agg_index = flags.GetInt("agg-index", 0) != 0;
   sopts.num_shards = static_cast<int>(flags.GetInt("shards", 1));
+  const std::string edb_format = flags.GetString("edb-format", "row");
+  if (edb_format == "columnar") {
+    sopts.edb_format = EdbFormat::kColumnar;
+  } else if (edb_format != "row") {
+    std::fprintf(stderr,
+                 "unknown --edb-format=%s (row|columnar), keeping row\n",
+                 edb_format.c_str());
+  }
+  sopts.columnar_rows_per_extent =
+      flags.GetInt("columnar-rows-per-extent", 16384);
   QueryService service(manager.get(), sopts);
 
   std::string workload = flags.GetString("serve-workload", "");
@@ -470,7 +484,9 @@ int CmdServe(const Flags& flags) {
   while (std::getline(in, line)) {
     DieOnError(ReplayLine(schema, service, catalog, line));
   }
-  std::printf("served with %d shard(s)\n", service.num_shards());
+  std::printf("served with %d shard(s), columnar mirror %s\n",
+              service.num_shards(),
+              service.columnar_active() ? "active" : "off");
   if (service.cache() != nullptr) {
     AggregateCache::Stats stats = service.cache()->stats();
     std::printf("served at generation %" PRId64
