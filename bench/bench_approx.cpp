@@ -1,0 +1,334 @@
+// Extension experiment: the approximate answer tier (src/synopsis,
+// serve/answer.h).
+//
+// Generates an `agg_bounded` serve-workload trace over the automotive-like
+// dataset (grand totals, one probe per level-2 node — those are marginal
+// regions the synopsis answers exactly — and cross-dimension probes whose
+// answers carry a real probabilistic bound), replays it through a
+// QueryService with the synopsis on and the cache off, and replays every op
+// twice: once under the exact contract and once under the bounded one. A
+// batch of seeded measure updates runs first so the synopsis being probed is
+// the incrementally-maintained one, not a fresh build.
+//
+// Measured per op, cold (the EDB file is evicted before every query, so
+// IoStats::page_reads counts exactly the data pages the answer demanded):
+// data pages and latency in both modes, the answering tier, and the observed
+// error |bounded - exact| against the promised bound. A second phase checks
+// the degenerate contract across 3 seeds x {1, 4} shards: bounded(eps = 0)
+// answers must be memcmp-identical to exact-mode answers.
+//
+// Headline numbers (asserted by CI from BENCH_approx.json):
+//   * bounds_hold        — bound-violation fraction <= delta (expected 0).
+//   * tier_hit_rate > 0  — the synopsis actually answers.
+//   * pages_ok           — bounded-mode p50 data pages strictly below the
+//                          exact-mode miss p50 (synopsis answers do no I/O).
+//   * eps0_matches_exact — bounded(0) == exact, bit for bit.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "edb/maintenance.h"
+#include "serve/query_service.h"
+#include "serve/workload.h"
+
+using namespace iolap;
+
+namespace {
+
+constexpr AggregateFunc kAllFuncs[] = {AggregateFunc::kSum,
+                                       AggregateFunc::kCount,
+                                       AggregateFunc::kAverage,
+                                       AggregateFunc::kMin,
+                                       AggregateFunc::kMax};
+
+const char* FuncName(AggregateFunc func) {
+  switch (func) {
+    case AggregateFunc::kSum:
+      return "sum";
+    case AggregateFunc::kCount:
+      return "count";
+    case AggregateFunc::kAverage:
+      return "avg";
+    case AggregateFunc::kMin:
+      return "min";
+    case AggregateFunc::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// The probe trace, in the serve-workload grammar (serve/workload.h): every
+/// line is an `agg_bounded` op. Marginal probes (<= 1 constrained dimension)
+/// dominate by construction — the synopsis answers those exactly — with a
+/// tail of cross-dimension probes that exercise the probabilistic bounds.
+std::vector<std::string> MakeTrace(const StarSchema& schema, double epsilon,
+                                   double delta) {
+  const std::string budget =
+      " " + FormatDouble(epsilon) + " " + FormatDouble(delta);
+  std::vector<std::string> lines;
+  lines.push_back("# generated agg_bounded probe trace");
+  for (AggregateFunc func : kAllFuncs) {
+    lines.push_back(std::string("agg_bounded ") + FuncName(func) + budget);
+  }
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    if (schema.dim(d).num_levels() < 3) continue;
+    for (NodeId node : schema.dim(d).nodes_at_level(2)) {
+      lines.push_back("agg_bounded sum" + budget + " " +
+                      schema.dim(d).dimension_name() + "=" +
+                      schema.dim(d).name(node));
+    }
+  }
+  // Cross probes: pair the i-th level-2 node of dimension 0 with the i-th of
+  // dimension 1, cycling sum/count/avg.
+  const auto& d0 = schema.dim(0).nodes_at_level(2);
+  const auto& d1 = schema.dim(1).nodes_at_level(2);
+  const size_t pairs = std::min<size_t>({12, d0.size(), d1.size()});
+  const AggregateFunc cycle[] = {AggregateFunc::kSum, AggregateFunc::kCount,
+                                 AggregateFunc::kAverage};
+  for (size_t i = 0; i < pairs; ++i) {
+    lines.push_back(std::string("agg_bounded ") + FuncName(cycle[i % 3]) +
+                    budget + " " + schema.dim(0).dimension_name() + "=" +
+                    schema.dim(0).name(d0[i]) + " " +
+                    schema.dim(1).dimension_name() + "=" +
+                    schema.dim(1).name(d1[i]));
+  }
+  return lines;
+}
+
+int64_t Percentile50(std::vector<int64_t> v) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  auto obs = ObsFromFlags(flags);
+  const int64_t facts_n = flags.GetInt("facts", 40'000);
+  const int64_t buffer_pages = flags.GetInt("buffer_pages", 4096);
+  const int64_t num_shards = flags.GetInt("shards", 4);
+  const double delta = flags.GetDouble("delta", 0.05);
+  // 0 = auto: a fraction of the grand-total SUM, so cross-probe bounds
+  // (roughly one level-2 slice's mass) fit and marginal ones trivially do.
+  const double epsilon_flag = flags.GetDouble("epsilon", 0);
+  JsonWriter json(flags.GetString("json", "BENCH_approx.json"));
+
+  StarSchema schema = Unwrap(MakeAutomotiveSchema());
+  DatasetSpec spec = AutomotiveLikeSpec(facts_n, 23);
+  StorageEnv env(MakeWorkDir("approx_bench"), buffer_pages);
+  TypedFile<FactRecord> facts = Unwrap(GenerateFacts(env, schema, spec));
+  std::vector<FactRecord> catalog;
+  {
+    auto cursor = facts.Scan(env.pool());
+    FactRecord f;
+    while (!cursor.done()) {
+      DieOnError(cursor.Next(&f));
+      catalog.push_back(f);
+    }
+  }
+  AllocationOptions options;
+  auto manager =
+      Unwrap(MaintenanceManager::Build(env, schema, &facts, options));
+
+  ServeOptions sopts;
+  sopts.synopsis = true;
+  sopts.cache_slots = 0;  // every query is a miss: tiers are synopsis vs scan
+  sopts.num_shards = static_cast<int>(num_shards);
+  QueryService service(manager.get(), sopts);
+
+  // Maintain before measuring: the probed synopsis must be the incrementally
+  // patched one. Updates also widen the min/max envelopes, so the min/max
+  // grand totals below genuinely fall through to the scan tier.
+  Rng rng(777);
+  for (int i = 0; i < 48 && !catalog.empty(); ++i) {
+    FactRecord& f = catalog[rng.Uniform(catalog.size())];
+    const double measure = 1.0 + static_cast<double>(rng.Uniform(500));
+    DieOnError(service.ApplyUpdates({FactUpdate{f, measure}}));
+    f.measure = measure;
+  }
+
+  const AggregateResult grand = Unwrap(service.Aggregate(
+      QueryRegion::All(), AggregateFunc::kSum, AnswerSpec::Exact()));
+  const double epsilon =
+      epsilon_flag > 0 ? epsilon_flag
+                       : 0.35 * std::max(1.0, std::abs(grand.value));
+
+  const std::vector<std::string> trace = MakeTrace(schema, epsilon, delta);
+  std::vector<TraceOp> ops;
+  for (const std::string& line : trace) {
+    TraceOp op;
+    Result<bool> parsed = ParseTraceOp(schema, line, &op);
+    DieOnError(parsed.status());
+    if (parsed.value()) ops.push_back(op);
+  }
+  const int64_t num_probes = static_cast<int64_t>(ops.size());
+  std::printf("facts=%lld edb_rows=%lld shards=%d probes=%lld eps=%.3g "
+              "delta=%.3g\n",
+              static_cast<long long>(facts_n),
+              static_cast<long long>(manager->edb().size()),
+              service.num_shards(), static_cast<long long>(num_probes),
+              epsilon, delta);
+
+  const auto evict = [&] {
+    (void)env.pool().EvictFile(manager->edb().file_id());
+  };
+
+  std::vector<int64_t> exact_pages, bounded_pages;
+  double exact_secs = 0, bounded_secs = 0;
+  int64_t synopsis_answered = 0, scan_fallbacks = 0, violations = 0;
+  double worst_excess = 0;  // max over probes of |err| - bound (<= 0 is good)
+  for (const TraceOp& op : ops) {
+    evict();
+    const int64_t e0 = env.disk().stats().page_reads;
+    Stopwatch exact_watch;
+    const AggregateResult exact =
+        Unwrap(service.Aggregate(op.region, op.func, AnswerSpec::Exact()));
+    exact_secs += exact_watch.ElapsedSeconds();
+    exact_pages.push_back(env.disk().stats().page_reads - e0);
+
+    evict();
+    const int64_t b0 = env.disk().stats().page_reads;
+    AnswerStats as;
+    Stopwatch bounded_watch;
+    const AggregateResult bounded = Unwrap(service.Aggregate(
+        op.region, op.func, AnswerSpec::Bounded(op.epsilon, op.delta), &as));
+    bounded_secs += bounded_watch.ElapsedSeconds();
+    bounded_pages.push_back(env.disk().stats().page_reads - b0);
+
+    if (as.tier == AnswerTier::kSynopsis) {
+      ++synopsis_answered;
+      const double err = std::abs(bounded.value - exact.value);
+      const double tol = 1e-9 * std::max(1.0, std::abs(exact.value));
+      worst_excess = std::max(worst_excess, err - as.bound);
+      if (err > as.bound + tol) ++violations;
+    } else if (as.tier == AnswerTier::kScan) {
+      ++scan_fallbacks;
+    }
+  }
+
+  const double tier_hit_rate =
+      num_probes > 0
+          ? static_cast<double>(synopsis_answered) /
+                static_cast<double>(num_probes)
+          : 0;
+  const double violation_fraction =
+      synopsis_answered > 0 ? static_cast<double>(violations) /
+                                  static_cast<double>(synopsis_answered)
+                            : 0;
+  const bool bounds_hold = violation_fraction <= delta;
+  const int64_t exact_p50 = Percentile50(exact_pages);
+  const int64_t bounded_p50 = Percentile50(bounded_pages);
+  const bool pages_ok = bounded_p50 < exact_p50;
+  const double per_probe = num_probes > 0 ? static_cast<double>(num_probes)
+                                          : 1;
+  const double exact_us = exact_secs * 1e6 / per_probe;
+  const double bounded_us = bounded_secs * 1e6 / per_probe;
+
+  // Degenerate contract: bounded(eps = 0) takes literally the exact path, so
+  // its answers must be bit-identical, across seeds and shard layouts.
+  const int64_t eps0_facts = flags.GetInt("facts_eps0", 8'000);
+  bool eps0_matches_exact = true;
+  int64_t eps0_configs = 0, eps0_probes = 0;
+  for (uint64_t seed : {101u, 102u, 103u}) {
+    for (int shards : {1, 4}) {
+      StorageEnv env0(MakeWorkDir("approx_bench_eps0"), 1024);
+      TypedFile<FactRecord> facts0 = Unwrap(
+          GenerateFacts(env0, schema, AutomotiveLikeSpec(eps0_facts, seed)));
+      auto manager0 =
+          Unwrap(MaintenanceManager::Build(env0, schema, &facts0, options));
+      ServeOptions opts0;
+      opts0.synopsis = true;
+      opts0.num_shards = shards;
+      QueryService service0(manager0.get(), opts0);
+      std::vector<QueryRegion> regions = {QueryRegion::All()};
+      for (NodeId node : schema.dim(0).nodes_at_level(2)) {
+        regions.push_back(QueryRegion::All().With(0, node));
+      }
+      regions.push_back(
+          QueryRegion::All()
+              .With(0, schema.dim(0).nodes_at_level(2).front())
+              .With(1, schema.dim(1).nodes_at_level(2).front()));
+      for (const QueryRegion& region : regions) {
+        for (AggregateFunc func : kAllFuncs) {
+          const AggregateResult exact =
+              Unwrap(service0.Aggregate(region, func, AnswerSpec::Exact()));
+          const AggregateResult eps0 = Unwrap(
+              service0.Aggregate(region, func, AnswerSpec::Bounded(0.0)));
+          if (std::memcmp(&exact, &eps0, sizeof(AggregateResult)) != 0) {
+            eps0_matches_exact = false;
+          }
+          ++eps0_probes;
+        }
+      }
+      ++eps0_configs;
+    }
+  }
+
+  const SynopsisStore::Stats sstats = service.synopsis()->stats();
+  std::printf("%-14s %14s %12s\n", "mode", "p50_pages", "avg_us");
+  std::printf("%-14s %14lld %12.2f\n", "exact_miss",
+              static_cast<long long>(exact_p50), exact_us);
+  std::printf("%-14s %14lld %12.2f\n", "bounded",
+              static_cast<long long>(bounded_p50), bounded_us);
+  std::printf(
+      "tier_hit_rate=%.3f (synopsis=%lld scan=%lld) violations=%lld/%lld "
+      "worst_excess=%.3g bounds_hold=%s pages_ok=%s\n",
+      tier_hit_rate, static_cast<long long>(synopsis_answered),
+      static_cast<long long>(scan_fallbacks),
+      static_cast<long long>(violations),
+      static_cast<long long>(synopsis_answered), worst_excess,
+      bounds_hold ? "true" : "false", pages_ok ? "true" : "false");
+  std::printf("eps0: %lld probes over %lld configs, matches_exact=%s\n",
+              static_cast<long long>(eps0_probes),
+              static_cast<long long>(eps0_configs),
+              eps0_matches_exact ? "true" : "false");
+
+  json.BeginObject();
+  json.Field("phase", "bounded");
+  json.Field("facts", facts_n);
+  json.Field("shards", num_shards);
+  json.Field("queries", num_probes);
+  json.Field("epsilon", epsilon);
+  json.Field("delta", delta);
+  json.Field("synopsis_answered", synopsis_answered);
+  json.Field("scan_fallbacks", scan_fallbacks);
+  json.Field("tier_hit_rate", tier_hit_rate);
+  json.Field("violations", violations);
+  json.Field("violation_fraction", violation_fraction);
+  json.Field("worst_excess", worst_excess);
+  json.Field("bounds_hold", bounds_hold);
+  json.Field("synopsis_p50_pages", bounded_p50);
+  json.Field("exact_miss_p50_pages", exact_p50);
+  json.Field("pages_ok", pages_ok);
+  json.Field("exact_avg_us", exact_us);
+  json.Field("bounded_avg_us", bounded_us);
+  json.Field("synopsis_commits", sstats.commits);
+  json.Field("synopsis_estimates", sstats.estimates);
+  json.EndObject();
+  json.BeginObject();
+  json.Field("phase", "eps0");
+  json.Field("facts", eps0_facts);
+  json.Field("configs", eps0_configs);
+  json.Field("queries", eps0_probes);
+  json.Field("eps0_matches_exact", eps0_matches_exact);
+  json.EndObject();
+  if (!json.Write()) return 1;
+  std::printf("wrote %s\n", json.path().c_str());
+  return (bounds_hold && tier_hit_rate > 0 && pages_ok && eps0_matches_exact)
+             ? 0
+             : 1;
+}

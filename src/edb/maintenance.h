@@ -41,6 +41,25 @@ class EdbChangeListener {
   virtual void OnRemove(const EdbRecord& rec) = 0;
 };
 
+/// Fans one change stream out to several listeners (the MaintenanceManager
+/// holds a single listener slot; the serve layer feeds both its aggregate
+/// index and its synopsis store from it). Targets are registered once at
+/// setup — not thread-safe against concurrent Add.
+class EdbChangeFanout : public EdbChangeListener {
+ public:
+  void Add(EdbChangeListener* listener) { targets_.push_back(listener); }
+  bool empty() const { return targets_.empty(); }
+  void OnAdd(const EdbRecord& rec) override {
+    for (EdbChangeListener* t : targets_) t->OnAdd(rec);
+  }
+  void OnRemove(const EdbRecord& rec) override {
+    for (EdbChangeListener* t : targets_) t->OnRemove(rec);
+  }
+
+ private:
+  std::vector<EdbChangeListener*> targets_;
+};
+
 struct MaintenanceStats {
   /// Bounding boxes (inclusive leaf coordinates) of everything this batch
   /// touched: each mutated fact's own region rect plus the pre-mutation

@@ -16,12 +16,14 @@ AggregateCache::AggregateCache(int64_t capacity_slots)
 
 AggregateCacheKey AggregateCache::MakeAggregateKey(const StarSchema& schema,
                                                    const QueryRegion& region,
-                                                   AggregateFunc func) {
+                                                   AggregateFunc func,
+                                                   AnswerMode mode) {
   AggregateCacheKey key;
   const QueryRegion normalized = NormalizeRegion(schema, region);
   for (int d = 0; d < kMaxDims; ++d) key.node[d] = normalized.node[d];
   key.kind = 0;
   key.func = static_cast<int8_t>(func);
+  key.mode = static_cast<int8_t>(mode);
   return key;
 }
 
@@ -38,7 +40,7 @@ AggregateCacheKey AggregateCache::MakeRollUpKey(const StarSchema& schema,
 
 bool AggregateCache::Lookup(const AggregateCacheKey& key,
                             std::vector<AggregateResult>* values,
-                            int64_t* generation) {
+                            int64_t* generation, double* bound) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
@@ -49,6 +51,7 @@ bool AggregateCache::Lookup(const AggregateCacheKey& key,
   lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
   *values = it->second->values;
   if (generation != nullptr) *generation = it->second->generation;
+  if (bound != nullptr) *bound = it->second->bound;
   ++stats_.hits;
   if (hits_counter_ != nullptr) hits_counter_->Add(1);
   return true;
@@ -56,7 +59,8 @@ bool AggregateCache::Lookup(const AggregateCacheKey& key,
 
 void AggregateCache::Insert(const AggregateCacheKey& key, const Rect& bbox,
                             std::vector<AggregateResult> values,
-                            int64_t generation, uint64_t shard_mask) {
+                            int64_t generation, uint64_t shard_mask,
+                            double bound) {
   const int64_t slots = static_cast<int64_t>(values.size());
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
@@ -67,6 +71,7 @@ void AggregateCache::Insert(const AggregateCacheKey& key, const Rect& bbox,
     it->second->bbox = bbox;
     it->second->generation = generation;
     it->second->shard_mask = shard_mask;
+    it->second->bound = bound;
     used_slots_ += slots;
     lru_.splice(lru_.begin(), lru_, it->second);
     if (slots_gauge_ != nullptr) slots_gauge_->Set(used_slots_);
@@ -74,7 +79,8 @@ void AggregateCache::Insert(const AggregateCacheKey& key, const Rect& bbox,
   }
   if (slots > capacity_slots_) return;  // bigger than the whole cache
   EvictForSpace(slots);
-  lru_.push_front(Entry{key, bbox, std::move(values), generation, shard_mask});
+  lru_.push_front(
+      Entry{key, bbox, std::move(values), generation, shard_mask, bound});
   index_.emplace(key, lru_.begin());
   used_slots_ += slots;
   ++stats_.inserted_entries;

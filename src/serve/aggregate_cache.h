@@ -11,25 +11,31 @@
 #include "edb/query.h"
 #include "model/schema.h"
 #include "rtree/rtree.h"
+#include "serve/answer.h"
 
 namespace iolap {
 
 /// Identity of one cacheable query result: the *normalized* region (see
 /// NormalizeRegion — regions selecting the same cells share one key), the
-/// aggregate function, and for rollups the grouping dimension + level.
-/// POD so it hashes/compares by bytes.
+/// aggregate function, for rollups the grouping dimension + level, and the
+/// answer mode (a bounded result must never serve an exact query, nor the
+/// reverse — their values differ). POD so it hashes/compares by bytes;
+/// `reserved` keeps the byte image free of uninitialized padding.
 struct AggregateCacheKey {
   int32_t node[kMaxDims] = {};
   int8_t kind = 0;   // 0 = point aggregate, 1 = rollup
   int8_t func = 0;   // AggregateFunc
   int8_t dim = -1;   // rollup grouping dimension, -1 for point aggregates
   int8_t level = 0;  // rollup grouping level, 0 for point aggregates
+  int8_t mode = 0;   // AnswerMode
+  int8_t reserved[3] = {};
 
   bool operator==(const AggregateCacheKey& other) const {
     return std::memcmp(this, &other, sizeof(*this)) == 0;
   }
 };
 static_assert(std::is_trivially_copyable_v<AggregateCacheKey>);
+static_assert(sizeof(AggregateCacheKey) == sizeof(int32_t) * kMaxDims + 8);
 
 struct AggregateCacheKeyHash {
   size_t operator()(const AggregateCacheKey& key) const {
@@ -78,26 +84,29 @@ class AggregateCache {
 
   static AggregateCacheKey MakeAggregateKey(const StarSchema& schema,
                                             const QueryRegion& region,
-                                            AggregateFunc func);
+                                            AggregateFunc func,
+                                            AnswerMode mode = AnswerMode::kExact);
   static AggregateCacheKey MakeRollUpKey(const StarSchema& schema,
                                          const QueryRegion& region, int dim,
                                          int level, AggregateFunc func);
 
   /// On hit, copies the cached values (size 1 for point aggregates) into
-  /// `values`, the computing generation into `generation` if non-null, and
-  /// promotes the entry to most-recently-used.
+  /// `values`, the computing generation into `generation` if non-null, the
+  /// entry's promised error bound (0 for exact entries) into `bound` if
+  /// non-null, and promotes the entry to most-recently-used.
   bool Lookup(const AggregateCacheKey& key,
               std::vector<AggregateResult>* values,
-              int64_t* generation = nullptr);
+              int64_t* generation = nullptr, double* bound = nullptr);
 
   /// Admits (or refreshes) a result computed at `generation` for a query
   /// whose region covers the leaf box `bbox` and read the shards in
-  /// `shard_mask` (every bit set, the default, is always safe). Evicts from
-  /// the LRU tail until the entry fits; an entry bigger than the whole
-  /// cache is not admitted.
+  /// `shard_mask` (every bit set, the default, is always safe). Bounded-mode
+  /// entries record their promised error bound. Evicts from the LRU tail
+  /// until the entry fits; an entry bigger than the whole cache is not
+  /// admitted.
   void Insert(const AggregateCacheKey& key, const Rect& bbox,
               std::vector<AggregateResult> values, int64_t generation,
-              uint64_t shard_mask = ~uint64_t{0});
+              uint64_t shard_mask = ~uint64_t{0}, double bound = 0);
 
   /// Drops every entry whose region intersects one of `boxes`; returns the
   /// number dropped.
@@ -123,6 +132,7 @@ class AggregateCache {
     std::vector<AggregateResult> values;
     int64_t generation = 0;
     uint64_t shard_mask = ~uint64_t{0};
+    double bound = 0;  // promised error bound (bounded-mode entries)
   };
   using Lru = std::list<Entry>;
 

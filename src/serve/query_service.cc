@@ -1,8 +1,10 @@
 #include "serve/query_service.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "common/stopwatch.h"
@@ -22,6 +24,20 @@ bool IsTombstone(const EdbRecord& rec) {
   return rec.weight == 0 && rec.fact_id == -1;
 }
 
+/// IOLAP_EDB_FORMAT=row|columnar force-overrides the configured scan
+/// format — the CI lever for re-running whole suites columnar-forced.
+ServeOptions WithEnvOverrides(ServeOptions options) {
+  const char* format = std::getenv("IOLAP_EDB_FORMAT");
+  if (format != nullptr) {
+    if (std::string_view(format) == "columnar") {
+      options.edb_format = EdbFormat::kColumnar;
+    } else if (std::string_view(format) == "row") {
+      options.edb_format = EdbFormat::kRow;
+    }
+  }
+  return options;
+}
+
 }  // namespace
 
 QueryService::QueryService(MaintenanceManager* manager,
@@ -30,7 +46,7 @@ QueryService::QueryService(MaintenanceManager* manager,
       schema_(&manager->schema()),
       edb_(&manager->edb()),
       manager_(manager),
-      options_(options),
+      options_(WithEnvOverrides(options)),
       queries_counter_(GlobalCounter("serve.queries")),
       mutations_counter_(GlobalCounter("serve.mutations")),
       partitions_counter_(GlobalCounter("serve.scan_partitions")),
@@ -50,11 +66,21 @@ QueryService::QueryService(MaintenanceManager* manager,
   }
   if (options_.agg_index) {
     agg_index_ = std::make_unique<AggIndex>(env_, schema_, edb_);
-    manager_->set_change_listener(agg_index_.get());
     if (options_.edb_format == EdbFormat::kColumnar) {
       agg_index_->set_columnar_provider(
           [this] { return ColumnarSnapshot(); });
     }
+  }
+  if (options_.synopsis) {
+    synopsis_ = std::make_unique<SynopsisStore>(env_, schema_, edb_);
+  }
+  if (agg_index_ != nullptr) change_fanout_.Add(agg_index_.get());
+  if (synopsis_ != nullptr) change_fanout_.Add(synopsis_.get());
+  if (!change_fanout_.empty()) manager_->set_change_listener(&change_fanout_);
+  for (int t = 0; t < 4; ++t) {
+    tier_counters_[t] = GlobalCounter(
+        std::string("serve.answer_tier.") +
+        AnswerTierName(static_cast<AnswerTier>(t)));
   }
   GroupByOptions gopts;
   gopts.chunk_rows = options_.min_partition_rows;
@@ -74,7 +100,7 @@ QueryService::QueryService(StorageEnv* env, const StarSchema* schema,
       schema_(schema),
       edb_(edb),
       manager_(nullptr),
-      options_(options),
+      options_(WithEnvOverrides(options)),
       queries_counter_(GlobalCounter("serve.queries")),
       mutations_counter_(GlobalCounter("serve.mutations")),
       partitions_counter_(GlobalCounter("serve.scan_partitions")),
@@ -99,6 +125,16 @@ QueryService::QueryService(StorageEnv* env, const StarSchema* schema,
           [this] { return ColumnarSnapshot(); });
     }
   }
+  if (options_.synopsis) {
+    // Read-only mode: no change stream to subscribe to, but the EDB is
+    // static, so the build-time synopsis stays exact forever.
+    synopsis_ = std::make_unique<SynopsisStore>(env_, schema_, edb_);
+  }
+  for (int t = 0; t < 4; ++t) {
+    tier_counters_[t] = GlobalCounter(
+        std::string("serve.answer_tier.") +
+        AnswerTierName(static_cast<AnswerTier>(t)));
+  }
   GroupByOptions gopts;
   gopts.chunk_rows = options_.min_partition_rows;
   gopts.radix_min_groups = options_.radix_min_groups;
@@ -110,8 +146,8 @@ QueryService::QueryService(StorageEnv* env, const StarSchema* schema,
 
 QueryService::~QueryService() {
   // The manager may outlive this service; never leave it pointing at the
-  // index we own.
-  if (manager_ != nullptr && agg_index_ != nullptr) {
+  // fanout (and through it the index / synopsis) we own.
+  if (manager_ != nullptr && !change_fanout_.empty()) {
     manager_->set_change_listener(nullptr);
   }
 }
@@ -145,8 +181,29 @@ Status QueryService::EnsureShardsReady() {
     const Status built = BuildColumnar();
     (void)built;
   }
+  if (synopsis_ != nullptr && !synopsis_->ready()) {
+    // One EDB scan while everything is quiescent; like the index, a build
+    // failure just leaves bounded queries falling back to scans.
+    synopsis_->SetShardBounds(SynopsisBounds());
+    const Status built = synopsis_->RebuildIfStale();
+    (void)built;
+  }
   shards_ready_.store(true, std::memory_order_release);
   return Status::Ok();
+}
+
+std::vector<int32_t> QueryService::SynopsisBounds() const {
+  if (shards_.size() > 1) {
+    std::vector<int32_t> begins;
+    begins.reserve(shards_.size() + 1);
+    for (int s = 0; s < static_cast<int>(shards_.size()); ++s) {
+      begins.push_back(shard_map_.shard_begin(s));
+    }
+    begins.push_back(
+        shard_map_.shard_end(static_cast<int>(shards_.size()) - 1));
+    return begins;
+  }
+  return {0, schema_->dim(0).num_leaves()};
 }
 
 Status QueryService::InitShardsLocked() {
@@ -422,11 +479,39 @@ Result<AggregateResult> QueryService::Aggregate(const QueryRegion& region,
                                                 int64_t* generation,
                                                 bool* cache_hit,
                                                 ShardSnapshot* shards) {
+  AnswerStats as;
+  IOLAP_ASSIGN_OR_RETURN(
+      AggregateResult out,
+      Aggregate(region, func, AnswerSpec::Exact(), &as, generation, shards));
+  if (cache_hit != nullptr) *cache_hit = as.cache_hit;
+  return out;
+}
+
+Result<AggregateResult> QueryService::Aggregate(const QueryRegion& region,
+                                                AggregateFunc func,
+                                                const AnswerSpec& spec,
+                                                AnswerStats* answer_stats,
+                                                int64_t* generation,
+                                                ShardSnapshot* shards) {
+  // A bounded spec with no error budget IS the exact contract; collapsing
+  // it here makes bounded(0) trivially memcmp-equal to exact mode.
+  const bool bounded =
+      spec.mode == AnswerMode::kBounded && spec.epsilon > 0;
   TraceSpan span("serve.query");
   Stopwatch timer;
   if (queries_counter_ != nullptr) queries_counter_->Add(1);
   IOLAP_RETURN_IF_ERROR(EnsureShardsReady());
-  const auto record_time = [&] {
+  const auto finish = [&](AnswerTier tier, double bound, bool exact,
+                          bool cache_hit) {
+    if (answer_stats != nullptr) {
+      answer_stats->tier = tier;
+      answer_stats->bound = bound;
+      answer_stats->cache_hit = cache_hit;
+      answer_stats->exact = exact;
+    }
+    span.AddArg("tier", static_cast<int64_t>(tier));
+    const int t = static_cast<int>(tier);
+    if (tier_counters_[t] != nullptr) tier_counters_[t]->Add(1);
     if (query_us_histogram_ != nullptr) {
       query_us_histogram_->Record(
           static_cast<int64_t>(timer.ElapsedSeconds() * 1e6));
@@ -435,43 +520,73 @@ Result<AggregateResult> QueryService::Aggregate(const QueryRegion& region,
   const Rect rect = RegionToRect(*schema_, region);
   LockedShards ls = AcquireShared(rect, shards);
   if (generation != nullptr) *generation = ls.global_gen;
-  if (cache_hit != nullptr) *cache_hit = false;
 
-  AggregateCacheKey key;
+  // Cache tier. An exact entry serves both contracts (a bound of zero fits
+  // any epsilon); a bounded entry serves only bounded queries whose budget
+  // its recorded bound fits — never an exact query.
+  AggregateCacheKey exact_key;
+  AggregateCacheKey bounded_key;
   std::vector<AggregateResult> cached;
   if (cache_ != nullptr) {
-    key = AggregateCache::MakeAggregateKey(*schema_, region, func);
-    if (cache_->Lookup(key, &cached) && cached.size() == 1) {
-      if (cache_hit != nullptr) *cache_hit = true;
-      span.AddArg("cache_hit", 1);
-      record_time();
+    exact_key = AggregateCache::MakeAggregateKey(*schema_, region, func,
+                                                 AnswerMode::kExact);
+    if (cache_->Lookup(exact_key, &cached) && cached.size() == 1) {
+      finish(AnswerTier::kCache, 0, true, true);
       return cached[0];
+    }
+    if (bounded) {
+      bounded_key = AggregateCache::MakeAggregateKey(*schema_, region, func,
+                                                     AnswerMode::kBounded);
+      double cached_bound = 0;
+      if (cache_->Lookup(bounded_key, &cached, nullptr, &cached_bound) &&
+          cached.size() == 1 && cached_bound <= spec.epsilon) {
+        finish(AnswerTier::kCache, cached_bound, cached_bound == 0, true);
+        return cached[0];
+      }
     }
   }
 
-  AggregateResult out;
-  bool answered = false;
+  // Index tier: exact answers from covering node partials. Any index error
+  // falls through — the lower tiers are always correct.
   if (agg_index_ != nullptr) {
-    // The index tier: answer the miss from covering node partials. Any
-    // index error falls through to the scan — the scan is always correct.
     Result<AggregateResult> indexed = agg_index_->Aggregate(region, func);
     if (indexed.ok()) {
-      out = *indexed;
-      answered = true;
       span.AddArg("index_answer", 1);
       if (index_answers_counter_ != nullptr) index_answers_counter_->Add(1);
-    } else if (index_fallbacks_counter_ != nullptr) {
-      index_fallbacks_counter_->Add(1);
+      if (cache_ != nullptr) {
+        cache_->Insert(exact_key, rect, {*indexed}, ls.global_gen,
+                       ShardMap::MaskOfRange(ls.first, ls.last));
+      }
+      finish(AnswerTier::kIndex, 0, true, false);
+      return *indexed;
+    }
+    if (index_fallbacks_counter_ != nullptr) index_fallbacks_counter_->Add(1);
+  }
+
+  // Synopsis tier (bounded contracts only): accept the in-memory moment
+  // answer iff its proven bound fits the query's epsilon. Cached under the
+  // *bounded* key even when the bound is 0, so exact-key entries stay pure
+  // index/scan products.
+  if (bounded && synopsis_ != nullptr) {
+    Result<BoundedAggregate> est =
+        synopsis_->EstimateAggregate(region, func, spec.delta);
+    if (est.ok() && est->bound <= spec.epsilon) {
+      if (cache_ != nullptr) {
+        cache_->Insert(bounded_key, rect, {est->result}, ls.global_gen,
+                       ShardMap::MaskOfRange(ls.first, ls.last), est->bound);
+      }
+      finish(AnswerTier::kSynopsis, est->bound, est->exact, false);
+      return est->result;
     }
   }
-  if (!answered) {
-    IOLAP_ASSIGN_OR_RETURN(out, ScanAggregate(ls, region, func));
-  }
+
+  // Scan tier: the oracle.
+  IOLAP_ASSIGN_OR_RETURN(AggregateResult out, ScanAggregate(ls, region, func));
   if (cache_ != nullptr) {
-    cache_->Insert(key, rect, {out}, ls.global_gen,
+    cache_->Insert(exact_key, rect, {out}, ls.global_gen,
                    ShardMap::MaskOfRange(ls.first, ls.last));
   }
-  record_time();
+  finish(AnswerTier::kScan, 0, true, false);
   return out;
 }
 
@@ -661,6 +776,22 @@ Status QueryService::MutateLocked(
       agg_index_->Invalidate();
     }
   }
+  if (synopsis_ != nullptr) {
+    if (status.ok()) {
+      const Status committed = synopsis_->Commit();
+      if (!committed.ok()) synopsis_->Invalidate();
+    } else {
+      // A failed batch may have applied any prefix of its row changes;
+      // the buffered deltas no longer describe the EDB.
+      synopsis_->Invalidate();
+    }
+    // Rebuild while mutation_mu_ still excludes every other writer
+    // (concurrent readers never touch a stale synopsis: EstimateAggregate
+    // refuses until ready). A failure just leaves bounded queries
+    // falling back to the scan tier.
+    const Status rebuilt = synopsis_->RebuildIfStale();
+    (void)rebuilt;
+  }
   return status;
 }
 
@@ -719,6 +850,7 @@ Result<int64_t> QueryService::Compact() {
     // new generation so nothing stale survives.
     if (cache_ != nullptr) cache_->Clear();
     if (agg_index_ != nullptr) agg_index_->Invalidate();
+    if (synopsis_ != nullptr) synopsis_->Invalidate();
     const int64_t gen =
         generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
     if (generation_gauge_ != nullptr) generation_gauge_->Set(gen);

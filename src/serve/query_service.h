@@ -15,9 +15,11 @@
 #include "edb/query.h"
 #include "exec/thread_pool.h"
 #include "serve/aggregate_cache.h"
+#include "serve/answer.h"
 #include "serve/groupby.h"
 #include "serve/shard_map.h"
 #include "storage/storage_env.h"
+#include "synopsis/synopsis.h"
 
 namespace iolap {
 
@@ -67,6 +69,12 @@ struct ServeOptions {
   EdbFormat edb_format = EdbFormat::kRow;
   /// Rows per extent of the columnar mirror (ColumnarWriteOptions).
   int64_t columnar_rows_per_extent = 16384;
+  /// Maintain an in-memory per-shard moment synopsis (src/synopsis) and let
+  /// bounded-mode queries (AnswerSpec::Bounded) be answered from it with a
+  /// probabilistic error bound instead of scanning. Exact-mode queries are
+  /// unaffected. Kept incrementally consistent from the same change stream
+  /// as the aggregate index.
+  bool synopsis = false;
 };
 
 /// Per-shard generations pinned by one query: shard `first_shard + i` was
@@ -82,8 +90,15 @@ struct ShardSnapshot {
 /// Answer tiers (each one falls through to the next): the AggregateCache
 /// (exact region+function hit, no I/O), then — with `agg_index` on — the
 /// hierarchical aggregate index (a few node pages instead of an EDB scan),
+/// then — for bounded-mode queries with `synopsis` on — the moment synopsis
+/// (an in-memory probabilistic answer, no I/O, accepted when its error
+/// bound fits the query's epsilon; see serve/answer.h and DESIGN.md §15),
 /// then the parallel group-by scan (serve/groupby.h). The scan stays the
-/// oracle: Uncached* never consults the cache or the index.
+/// oracle: Uncached* never consults the cache, the index or the synopsis.
+///
+/// The environment variable IOLAP_EDB_FORMAT (values `row` / `columnar`)
+/// overrides ServeOptions::edb_format at construction — a deployment-level
+/// force switch, mirroring IOLAP_IO_BACKEND.
 ///
 /// Concurrency model (the sharded snapshot contract):
 ///  * The leaf space is statically partitioned into shards along
@@ -136,6 +151,19 @@ class QueryService {
                                     AggregateFunc func,
                                     int64_t* generation = nullptr,
                                     bool* cache_hit = nullptr,
+                                    ShardSnapshot* shards = nullptr);
+
+  /// Aggregate with an explicit answer contract. Exact specs behave exactly
+  /// like the overload above. Bounded specs walk cache -> index -> synopsis
+  /// -> scan and accept a synopsis answer whenever its error bound is
+  /// <= spec.epsilon (see serve/answer.h); `answer_stats` reports the tier
+  /// that answered and the promised bound. A bounded spec with epsilon <= 0
+  /// leaves no error budget and takes literally the exact path, so its
+  /// answers are memcmp-equal to exact-mode answers.
+  Result<AggregateResult> Aggregate(const QueryRegion& region,
+                                    AggregateFunc func, const AnswerSpec& spec,
+                                    AnswerStats* answer_stats = nullptr,
+                                    int64_t* generation = nullptr,
                                     ShardSnapshot* shards = nullptr);
 
   /// Cached rollup (one aggregate per node of `dim` at `level`, restricted
@@ -209,6 +237,8 @@ class QueryService {
   AggregateCache* cache() { return cache_.get(); }
   /// Null when options.agg_index is false.
   AggIndex* agg_index() { return agg_index_.get(); }
+  /// Null when options.synopsis is false.
+  SynopsisStore* synopsis() { return synopsis_.get(); }
   const StarSchema& schema() const { return *schema_; }
 
  private:
@@ -280,6 +310,10 @@ class QueryService {
                                                   int dim, int level,
                                                   AggregateFunc func);
 
+  /// Dimension-0 shard partition for the synopsis store: the shard map's
+  /// begins when sharded, the whole leaf range otherwise.
+  std::vector<int32_t> SynopsisBounds() const;
+
   StorageEnv* env_;
   const StarSchema* schema_;
   const TypedFile<EdbRecord>* edb_;
@@ -288,6 +322,10 @@ class QueryService {
   std::unique_ptr<ThreadPool> pool_;       // null when num_threads <= 1
   std::unique_ptr<AggregateCache> cache_;  // null when cache_slots <= 0
   std::unique_ptr<AggIndex> agg_index_;    // null when !options.agg_index
+  std::unique_ptr<SynopsisStore> synopsis_;  // null when !options.synopsis
+  /// Fans the maintenance change stream out to agg_index_ and synopsis_
+  /// (the MaintenanceManager holds a single listener slot).
+  EdbChangeFanout change_fanout_;
   std::unique_ptr<GroupByEngine> groupby_;
 
   /// Lock order: init_mu_ -> mutation_mu_ -> shard locks (ascending) ->
@@ -312,6 +350,8 @@ class QueryService {
   class Counter* partitions_counter_;
   class Counter* index_answers_counter_;
   class Counter* index_fallbacks_counter_;
+  /// serve.answer_tier.{cache,index,synopsis,scan}, indexed by AnswerTier.
+  class Counter* tier_counters_[4] = {};
   class Gauge* generation_gauge_;
   class Gauge* shards_gauge_;
   class Histogram* query_us_histogram_;

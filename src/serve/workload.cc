@@ -1,0 +1,173 @@
+#include "serve/workload.h"
+
+#include <sstream>
+#include <utility>
+
+namespace iolap {
+
+namespace {
+
+/// Strict numeric extraction: the stream must yield a value, and the token
+/// must be consumed whole (no "12x").
+template <typename T>
+Status ReadNumber(std::istringstream& in, const char* what, T* out) {
+  if (!(in >> *out)) {
+    return Status::InvalidArgument(std::string("expected ") + what);
+  }
+  return Status::Ok();
+}
+
+/// Applies every remaining "Dim=Node" token to `region`; errors on the
+/// first token that is not one.
+Status ReadConstraints(const StarSchema& schema, std::istringstream& in,
+                       QueryRegion* region) {
+  std::string token;
+  while (in >> token) {
+    IOLAP_ASSIGN_OR_RETURN(auto dn, ParseDimNodeToken(schema, token));
+    region->With(dn.first, dn.second);
+  }
+  return Status::Ok();
+}
+
+Status ExpectEnd(std::istringstream& in, const char* op) {
+  std::string extra;
+  if (in >> extra) {
+    return Status::InvalidArgument(std::string(op) + ": trailing token '" +
+                                   extra + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+const char* TraceOpName(TraceOpType type) {
+  switch (type) {
+    case TraceOpType::kAgg:
+      return "agg";
+    case TraceOpType::kAggBounded:
+      return "agg_bounded";
+    case TraceOpType::kRollUp:
+      return "rollup";
+    case TraceOpType::kCompletions:
+      return "completions";
+    case TraceOpType::kUpdate:
+      return "update";
+    case TraceOpType::kInsert:
+      return "insert";
+    case TraceOpType::kDelete:
+      return "delete";
+    case TraceOpType::kCompact:
+      return "compact";
+  }
+  return "unknown";
+}
+
+Result<AggregateFunc> ParseAggregateFunc(const std::string& name) {
+  if (name == "sum") return AggregateFunc::kSum;
+  if (name == "count") return AggregateFunc::kCount;
+  if (name == "avg") return AggregateFunc::kAverage;
+  if (name == "min") return AggregateFunc::kMin;
+  if (name == "max") return AggregateFunc::kMax;
+  return Status::InvalidArgument(
+      "unknown aggregate function '" + name + "' (sum|count|avg|min|max)");
+}
+
+Result<std::pair<int, NodeId>> ParseDimNodeToken(const StarSchema& schema,
+                                                 const std::string& token) {
+  const size_t eq = token.find('=');
+  if (eq == std::string::npos) {
+    return Status::InvalidArgument("expected Dim=Node, got '" + token + "'");
+  }
+  const std::string dim_name = token.substr(0, eq);
+  const std::string node_name = token.substr(eq + 1);
+  for (int d = 0; d < schema.num_dims(); ++d) {
+    if (schema.dim(d).dimension_name() == dim_name) {
+      IOLAP_ASSIGN_OR_RETURN(NodeId node, schema.dim(d).FindNode(node_name));
+      return std::make_pair(d, node);
+    }
+  }
+  return Status::InvalidArgument("unknown dimension '" + dim_name + "'");
+}
+
+Result<bool> ParseTraceOp(const StarSchema& schema, const std::string& line,
+                          TraceOp* op) {
+  std::istringstream in(line.substr(0, line.find('#')));
+  std::string keyword;
+  if (!(in >> keyword)) return false;  // blank / comment-only line
+  *op = TraceOp{};
+
+  if (keyword == "agg" || keyword == "agg_bounded") {
+    op->type = keyword == "agg" ? TraceOpType::kAgg : TraceOpType::kAggBounded;
+    std::string func_name;
+    if (!(in >> func_name)) {
+      return Status::InvalidArgument(keyword + ": expected function");
+    }
+    IOLAP_ASSIGN_OR_RETURN(op->func, ParseAggregateFunc(func_name));
+    if (op->type == TraceOpType::kAggBounded) {
+      IOLAP_RETURN_IF_ERROR(ReadNumber(in, "agg_bounded epsilon",
+                                       &op->epsilon));
+      IOLAP_RETURN_IF_ERROR(ReadNumber(in, "agg_bounded delta", &op->delta));
+      if (op->epsilon < 0) {
+        return Status::InvalidArgument("agg_bounded: epsilon must be >= 0");
+      }
+      if (op->delta <= 0 || op->delta >= 1) {
+        return Status::InvalidArgument("agg_bounded: delta must be in (0, 1)");
+      }
+    }
+    IOLAP_RETURN_IF_ERROR(ReadConstraints(schema, in, &op->region));
+    return true;
+  }
+  if (keyword == "rollup") {
+    op->type = TraceOpType::kRollUp;
+    std::string func_name, dim_name;
+    if (!(in >> func_name)) {
+      return Status::InvalidArgument("rollup: expected function");
+    }
+    IOLAP_ASSIGN_OR_RETURN(op->func, ParseAggregateFunc(func_name));
+    if (!(in >> dim_name)) {
+      return Status::InvalidArgument("rollup: expected dimension");
+    }
+    for (int d = 0; d < schema.num_dims(); ++d) {
+      if (schema.dim(d).dimension_name() == dim_name) op->dim = d;
+    }
+    if (op->dim < 0) {
+      return Status::InvalidArgument("unknown dimension '" + dim_name + "'");
+    }
+    IOLAP_RETURN_IF_ERROR(ReadNumber(in, "rollup level", &op->level));
+    // Levels count leaves as 1 and ALL as num_levels (model/hierarchy.h).
+    if (op->level < 1 || op->level > schema.dim(op->dim).num_levels()) {
+      return Status::InvalidArgument("rollup: level out of range");
+    }
+    IOLAP_RETURN_IF_ERROR(ReadConstraints(schema, in, &op->region));
+    return true;
+  }
+  if (keyword == "completions" || keyword == "delete") {
+    op->type = keyword == "delete" ? TraceOpType::kDelete
+                                   : TraceOpType::kCompletions;
+    IOLAP_RETURN_IF_ERROR(ReadNumber(in, "fact id", &op->fact_id));
+    IOLAP_RETURN_IF_ERROR(ExpectEnd(in, keyword.c_str()));
+    return true;
+  }
+  if (keyword == "update") {
+    op->type = TraceOpType::kUpdate;
+    IOLAP_RETURN_IF_ERROR(ReadNumber(in, "fact id", &op->fact_id));
+    IOLAP_RETURN_IF_ERROR(ReadNumber(in, "update measure", &op->measure));
+    IOLAP_RETURN_IF_ERROR(ExpectEnd(in, "update"));
+    return true;
+  }
+  if (keyword == "insert") {
+    op->type = TraceOpType::kInsert;
+    IOLAP_RETURN_IF_ERROR(ReadNumber(in, "fact id", &op->fact_id));
+    IOLAP_RETURN_IF_ERROR(ReadNumber(in, "insert measure", &op->measure));
+    IOLAP_RETURN_IF_ERROR(ReadConstraints(schema, in, &op->region));
+    return true;
+  }
+  if (keyword == "compact") {
+    op->type = TraceOpType::kCompact;
+    IOLAP_RETURN_IF_ERROR(ExpectEnd(in, "compact"));
+    return true;
+  }
+  return Status::InvalidArgument("unknown workload op '" + keyword + "'");
+}
+
+}  // namespace iolap

@@ -1,0 +1,75 @@
+#ifndef IOLAP_SERVE_WORKLOAD_H_
+#define IOLAP_SERVE_WORKLOAD_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "edb/query.h"
+#include "model/schema.h"
+
+namespace iolap {
+
+/// The serve-workload trace grammar — one operation per line, `#` starts a
+/// comment, blank lines are skipped:
+///
+///   agg <sum|count|avg|min|max> [Dim=Node]...
+///   agg_bounded <func> <epsilon> <delta> [Dim=Node]...
+///   rollup <func> <Dim> <level> [Dim=Node]...
+///   completions <fact_id>
+///   update <fact_id> <measure>
+///   insert <fact_id> <measure> [Dim=Node]...
+///   delete <fact_id>
+///   compact
+///
+/// Parsing is strict: an unknown op, unknown function, unresolvable
+/// Dim=Node, malformed number, missing argument, or trailing junk is an
+/// InvalidArgument error naming the offending token — a typo'd trace line
+/// must never be silently skipped or reinterpreted.
+enum class TraceOpType : int8_t {
+  kAgg = 0,
+  kAggBounded,
+  kRollUp,
+  kCompletions,
+  kUpdate,
+  kInsert,
+  kDelete,
+  kCompact,
+};
+inline constexpr int kNumTraceOpTypes = 8;
+
+/// Grammar keyword of `type` ("agg", "agg_bounded", ...).
+const char* TraceOpName(TraceOpType type);
+
+/// One parsed trace operation. Which fields are meaningful depends on
+/// `type`; the rest keep their defaults.
+struct TraceOp {
+  TraceOpType type = TraceOpType::kAgg;
+  AggregateFunc func = AggregateFunc::kSum;  // agg / agg_bounded / rollup
+  /// Constrained region (agg / agg_bounded / rollup) or the inserted
+  /// fact's region (insert; unlisted dimensions stay at the root).
+  QueryRegion region = QueryRegion::All();
+  double epsilon = 0;   // agg_bounded: error budget (must be >= 0)
+  double delta = 0.05;  // agg_bounded: failure probability, in (0, 1)
+  int dim = -1;         // rollup: grouping dimension
+  int level = 0;        // rollup: grouping level
+  FactId fact_id = -1;  // completions / update / insert / delete
+  double measure = 0;   // update / insert
+};
+
+/// Parses one trace line against `schema`. Returns false for blank /
+/// comment-only lines (nothing to run), true with `*op` filled for an
+/// operation, or an InvalidArgument error for anything malformed.
+Result<bool> ParseTraceOp(const StarSchema& schema, const std::string& line,
+                          TraceOp* op);
+
+/// Resolves an aggregate-function keyword (sum|count|avg|min|max);
+/// InvalidArgument on anything else.
+Result<AggregateFunc> ParseAggregateFunc(const std::string& name);
+
+/// Resolves one "Dimension=Node" token against the schema.
+Result<std::pair<int, NodeId>> ParseDimNodeToken(const StarSchema& schema,
+                                                 const std::string& token);
+
+}  // namespace iolap
+
+#endif  // IOLAP_SERVE_WORKLOAD_H_

@@ -1,0 +1,199 @@
+#include "synopsis/bounded.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iolap {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Concentration widths are meaningless outside (0, 1); clamp rather than
+// branch so callers can pass user-supplied deltas straight through.
+double ClampDelta(double delta) {
+  return std::clamp(delta, 1e-12, 1.0 - 1e-12);
+}
+
+}  // namespace
+
+Interval FrechetIntersection(double total, const std::vector<double>& slices) {
+  if (slices.empty()) return {std::max(0.0, total), std::max(0.0, total)};
+  double sum = 0;
+  double min_slice = kInf;
+  for (double m : slices) {
+    const double clamped = std::clamp(m, 0.0, std::max(total, 0.0));
+    sum += clamped;
+    min_slice = std::min(min_slice, clamped);
+  }
+  const double k = static_cast<double>(slices.size());
+  const double lo = std::max(0.0, sum - (k - 1.0) * std::max(total, 0.0));
+  const double hi = std::max(lo, min_slice);
+  return {lo, hi};
+}
+
+Interval MassTimesRange(const Interval& mass, double vlo, double vhi) {
+  const double lo = std::max(mass.lo, 0.0);
+  const double hi = std::max(mass.hi, lo);
+  // Each unit of mass contributes a measure in [vlo, vhi]; the extremes are
+  // attained by putting the extreme mass behind the extreme measure sign.
+  const double a = vlo >= 0 ? lo * vlo : hi * vlo;
+  const double b = vhi >= 0 ? hi * vhi : lo * vhi;
+  return {std::min(a, b), std::max(a, b)};
+}
+
+Interval IntersectIntervals(const Interval& a, const Interval& b) {
+  Interval out{std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+  if (out.lo > out.hi) return a;
+  return out;
+}
+
+double HoeffdingHalfWidth(double sum_sq_ranges, double delta) {
+  if (sum_sq_ranges <= 0) return 0;
+  return std::sqrt(sum_sq_ranges * std::log(2.0 / ClampDelta(delta)) / 2.0);
+}
+
+double ChebyshevHalfWidth(double variance, double delta) {
+  if (variance <= 0) return 0;
+  return std::sqrt(variance / ClampDelta(delta));
+}
+
+namespace {
+
+// Deviation half-width for an estimate with the given Hoeffding squared-range
+// budget and model variance: the tighter of the two concentration bounds.
+double ModelHalfWidth(double sum_sq_ranges, double variance, double delta) {
+  return std::min(HoeffdingHalfWidth(sum_sq_ranges, delta),
+                  ChebyshevHalfWidth(variance, delta));
+}
+
+}  // namespace
+
+BoundedAggregate ComposeBounded(const std::vector<ShardTerms>& shards,
+                                AggregateFunc func, double delta) {
+  Interval mass{0, 0};
+  Interval sum{0, 0};
+  double mass_hat = 0;
+  double sum_hat = 0;
+  double hoeff_mass = 0;
+  double hoeff_sum = 0;
+  double var_mass = 0;
+  double var_sum = 0;
+  double env_lo = kInf;
+  double env_hi = -kInf;
+  bool all_exact = true;
+  bool minmax_exact = true;
+  int64_t approx_shards = 0;
+  for (const ShardTerms& t : shards) {
+    mass += t.mass;
+    sum += t.sum;
+    mass_hat += t.mass_hat;
+    sum_hat += t.sum_hat;
+    hoeff_mass += t.hoeff_mass;
+    hoeff_sum += t.hoeff_sum;
+    var_mass += t.var_mass;
+    var_sum += t.var_sum;
+    if (!t.exact) {
+      all_exact = false;
+      ++approx_shards;
+    }
+    if (t.mass.hi > 0) {
+      // Shard may contribute rows: its envelope joins the region's.
+      env_lo = std::min(env_lo, t.vlo);
+      env_hi = std::max(env_hi, t.vhi);
+      if (!t.exact || !t.minmax_exact) minmax_exact = false;
+    }
+  }
+
+  BoundedAggregate out;
+  out.approx_shards = approx_shards;
+  out.exact = all_exact;
+
+  // The answer itself: model point estimates clamped into the certain
+  // intervals (for exact terms the clamp is a no-op).
+  const double mass_ans = std::clamp(mass_hat, mass.lo, mass.hi);
+  const double sum_ans = std::clamp(sum_hat, sum.lo, sum.hi);
+  // Clamping can only move the estimate toward the truth's interval, but the
+  // concentration bound was derived around the unclamped estimate — widen by
+  // the shift so it still covers the truth.
+  const double mass_shift = std::abs(mass_hat - mass_ans);
+  const double sum_shift = std::abs(sum_hat - sum_ans);
+
+  AggregateResult& r = out.result;
+  r.sum = sum_ans;
+  r.count = mass_ans;
+  if (mass.hi > 0 && std::isfinite(env_lo)) {
+    r.min = env_lo;
+    r.max = env_hi;
+  }
+
+  const bool certainly_empty = mass.hi <= 0;
+  if (certainly_empty) {
+    // No row can land in the region: every aggregate is exactly the empty
+    // answer regardless of func.
+    out.result = AggregateResult{};
+    FinalizeAggregate(&out.result, func);
+    out.bound = 0;
+    out.exact = true;
+    return out;
+  }
+
+  switch (func) {
+    case AggregateFunc::kSum: {
+      const double det = std::max(sum_ans - sum.lo, sum.hi - sum_ans);
+      const double prob =
+          ModelHalfWidth(hoeff_sum, var_sum, delta) + sum_shift;
+      out.bound = all_exact ? 0 : std::min(det, prob);
+      break;
+    }
+    case AggregateFunc::kCount: {
+      const double det = std::max(mass_ans - mass.lo, mass.hi - mass_ans);
+      const double prob =
+          ModelHalfWidth(hoeff_mass, var_mass, delta) + mass_shift;
+      out.bound = all_exact ? 0 : std::min(det, prob);
+      break;
+    }
+    case AggregateFunc::kAverage: {
+      if (all_exact) {
+        out.bound = 0;
+        break;
+      }
+      const double value = mass_ans > 0 ? sum_ans / mass_ans : 0;
+      double det = kInf;
+      if (mass.lo > 0) {
+        // The average lies inside the corner hull of sum/mass intervals.
+        const double c1 = sum.lo / mass.lo;
+        const double c2 = sum.lo / mass.hi;
+        const double c3 = sum.hi / mass.lo;
+        const double c4 = sum.hi / mass.hi;
+        const double lo = std::min(std::min(c1, c2), std::min(c3, c4));
+        const double hi = std::max(std::max(c1, c2), std::max(c3, c4));
+        det = std::max(value - lo, hi - value);
+      }
+      // Union bound: sum and mass each hold within their half-width with
+      // probability >= 1 - delta/2, so both hold with >= 1 - delta.
+      const double t_sum =
+          ModelHalfWidth(hoeff_sum, var_sum, delta / 2) + sum_shift;
+      const double t_mass =
+          ModelHalfWidth(hoeff_mass, var_mass, delta / 2) + mass_shift;
+      const double denom = std::max(mass.lo, mass_ans - t_mass);
+      const double prob = denom > 0
+                              ? (t_sum + std::abs(value) * t_mass) / denom
+                              : kInf;
+      out.bound = std::min(det, prob);
+      break;
+    }
+    case AggregateFunc::kMin:
+    case AggregateFunc::kMax: {
+      // Extremes have no useful moment-based concentration; serve them only
+      // when every possibly-contributing shard is exact with exact extremes.
+      out.bound = (all_exact && minmax_exact) ? 0 : kInf;
+      break;
+    }
+  }
+
+  FinalizeAggregate(&out.result, func);
+  return out;
+}
+
+}  // namespace iolap

@@ -1,0 +1,112 @@
+#ifndef IOLAP_SYNOPSIS_BOUNDED_H_
+#define IOLAP_SYNOPSIS_BOUNDED_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "edb/query.h"
+
+namespace iolap {
+
+// ---------------------------------------------------------------------------
+// Interval / concentration primitives for the bounded-answer evaluator.
+//
+// A bounded answer composes two kinds of knowledge about an aggregate over a
+// region the synopsis only covers marginally:
+//
+//  * certain intervals — Fréchet bounds on the intersection mass of the
+//    region's marginal slices, multiplied through the measure envelope the
+//    slices admit. The exact answer always lies inside these.
+//  * concentration half-widths — Hoeffding / Chebyshev deviation bounds
+//    around the maximum-entropy (independence) point estimate, valid with
+//    probability >= 1 - delta under that model (the approach of the range-
+//    query-estimation literature; see DESIGN.md §15).
+//
+// The promised bound is the tighter of the two, so a bounded answer is never
+// worse than the certain interval and usually much tighter.
+
+/// A closed interval [lo, hi] on the real line.
+struct Interval {
+  double lo = 0;
+  double hi = 0;
+
+  double width() const { return hi - lo; }
+  bool degenerate() const { return lo == hi; }
+  Interval& operator+=(const Interval& o) {
+    lo += o.lo;
+    hi += o.hi;
+    return *this;
+  }
+};
+
+/// Fréchet bounds on the mass of the intersection of marginal slices:
+/// given a population of total mass `total` and slices of mass m_i, the
+/// intersection mass lies in [max(0, Σm_i - (k-1)·total), min_i m_i].
+Interval FrechetIntersection(double total, const std::vector<double>& slices);
+
+/// Certain bounds on Σ weight·measure given the region's mass lies in
+/// `mass` (an interval of nonnegative reals) and every contributing row's
+/// measure lies in [vlo, vhi]. Handles negative measures: each unit of mass
+/// contributes somewhere in [vlo, vhi].
+Interval MassTimesRange(const Interval& mass, double vlo, double vhi);
+
+/// Intersection of two certain intervals for the same quantity. If floating
+/// point makes them disjoint (they never are logically), keeps `a`.
+Interval IntersectIntervals(const Interval& a, const Interval& b);
+
+/// Hoeffding deviation half-width: for a sum of independent terms whose
+/// per-term squared ranges add to `sum_sq_ranges`, the sum deviates from
+/// its mean by more than the returned t with probability <= delta.
+double HoeffdingHalfWidth(double sum_sq_ranges, double delta);
+
+/// Chebyshev deviation half-width: sqrt(variance / delta).
+double ChebyshevHalfWidth(double variance, double delta);
+
+// ---------------------------------------------------------------------------
+// Per-shard terms and composition.
+
+/// One shard's contribution to a bounded aggregate, already reduced to
+/// intervals + model moments by the synopsis store. For shards where the
+/// region constrains at most one dimension the contribution is exact
+/// (degenerate intervals, zero variance).
+struct ShardTerms {
+  bool exact = false;  // intervals degenerate, hats are the true values
+  Interval mass;       // certain bounds on Σ weight in the region
+  Interval sum;        // certain bounds on Σ weight·measure in the region
+  double mass_hat = 0;  // independence-model point estimate (unclamped)
+  double sum_hat = 0;
+  double hoeff_mass = 0;  // Σ per-row squared ranges feeding Hoeffding
+  double hoeff_sum = 0;
+  double var_mass = 0;  // model variance of the mass estimate
+  double var_sum = 0;
+  /// Measure envelope of every row possibly in the region (+inf/-inf when
+  /// the shard certainly contributes nothing).
+  double vlo = std::numeric_limits<double>::infinity();
+  double vhi = -std::numeric_limits<double>::infinity();
+  /// vlo/vhi are the exact extremes of the region's rows in this shard
+  /// (|constrained dims| <= 1 and no removal has touched the entry).
+  bool minmax_exact = false;
+};
+
+/// A probabilistically bounded aggregate: `result.value` is the answer,
+/// and with probability >= 1 - delta (certainty when `bound` came from the
+/// Fréchet interval) the exact answer lies within `bound` of it. `exact`
+/// marks answers composed purely from exact shard terms (bound 0, equal to
+/// a scan up to the synopsis' incremental floating-point drift).
+struct BoundedAggregate {
+  AggregateResult result;
+  double bound = std::numeric_limits<double>::infinity();
+  bool exact = false;
+  int64_t approx_shards = 0;  // shards that needed probabilistic terms
+};
+
+/// Composes per-shard terms into one bounded answer for `func`. MIN/MAX are
+/// only served exactly (every nonempty shard exact with exact extremes);
+/// otherwise their bound is infinite and the caller falls back.
+BoundedAggregate ComposeBounded(const std::vector<ShardTerms>& shards,
+                                AggregateFunc func, double delta);
+
+}  // namespace iolap
+
+#endif  // IOLAP_SYNOPSIS_BOUNDED_H_

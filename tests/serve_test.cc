@@ -14,6 +14,7 @@
 #include "datagen/table2.h"
 #include "edb/maintenance.h"
 #include "edb/query.h"
+#include "serve/workload.h"
 #include "tests/test_util.h"
 
 namespace iolap {
@@ -577,6 +578,169 @@ TEST_F(SelectiveInvalidationTest, DeleteInOneHalfKeepsOtherHalfCached) {
       AggregateResult b_rescan,
       service.UncachedAggregate(region_b, AggregateFunc::kCount));
   EXPECT_NEAR(b_after.value, b_rescan.value, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// AggregateCache shard-mask and answer-mode edge cases.
+
+class CacheMaskTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    IOLAP_ASSERT_OK_AND_ASSIGN(schema_, MakePaperExampleSchema());
+  }
+
+  AggregateCacheKey KeyFor(int dim, NodeId node,
+                           AnswerMode mode = AnswerMode::kExact) const {
+    return AggregateCache::MakeAggregateKey(
+        schema_, QueryRegion::All().With(dim, node), AggregateFunc::kSum,
+        mode);
+  }
+
+  Rect BoxAll() const { return RegionToRect(schema_, QueryRegion::All()); }
+
+  StarSchema schema_;
+};
+
+TEST_F(CacheMaskTest, InvalidateShardsEdgeCases) {
+  AggregateCache cache(64);
+  const std::vector<NodeId> leaves = schema_.dim(0).nodes_at_level(1);
+  // Entry per shard mask: shard 0, shard 2, and one that read shards 0-2.
+  cache.Insert(KeyFor(0, leaves[0]), BoxAll(), {AggregateResult{}}, 1,
+               uint64_t{1} << 0);
+  cache.Insert(KeyFor(0, leaves[1]), BoxAll(), {AggregateResult{}}, 1,
+               uint64_t{1} << 2);
+  cache.Insert(KeyFor(0, leaves[2]), BoxAll(), {AggregateResult{}}, 1,
+               (uint64_t{1} << 3) - 1);
+  ASSERT_EQ(cache.entries(), 3);
+
+  // Mask 0 is a no-op batch: nothing can have been touched.
+  EXPECT_EQ(cache.InvalidateShards(0), 0);
+  EXPECT_EQ(cache.entries(), 3);
+
+  // A mask far wider than the live shard count drops only entries whose
+  // masks intersect it — here the bit-2 and bits-0..2 entries.
+  EXPECT_EQ(cache.InvalidateShards(~uint64_t{0} << 1), 2);
+  EXPECT_EQ(cache.entries(), 1);
+
+  // The all-shards mask (the default Insert mask is also ~0) drops
+  // everything that remains.
+  cache.Insert(KeyFor(0, leaves[3]), BoxAll(), {AggregateResult{}}, 1);
+  EXPECT_EQ(cache.InvalidateShards(~uint64_t{0}), 2);
+  EXPECT_EQ(cache.entries(), 0);
+}
+
+TEST_F(CacheMaskTest, AnswerModeTagsKeysApart) {
+  const NodeId leaf = schema_.dim(0).nodes_at_level(1)[0];
+  const AggregateCacheKey exact = KeyFor(0, leaf, AnswerMode::kExact);
+  const AggregateCacheKey bounded = KeyFor(0, leaf, AnswerMode::kBounded);
+  EXPECT_FALSE(exact == bounded);
+
+  AggregateCache cache(64);
+  AggregateResult exact_v;
+  exact_v.value = 1.0;
+  AggregateResult bounded_v;
+  bounded_v.value = 2.0;
+  cache.Insert(exact, BoxAll(), {exact_v}, 1);
+  cache.Insert(bounded, BoxAll(), {bounded_v}, 1, ~uint64_t{0}, 0.5);
+  std::vector<AggregateResult> got;
+  double bound = -1;
+  ASSERT_TRUE(cache.Lookup(exact, &got, nullptr, &bound));
+  EXPECT_DOUBLE_EQ(got[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(bound, 0);
+  ASSERT_TRUE(cache.Lookup(bounded, &got, nullptr, &bound));
+  EXPECT_DOUBLE_EQ(got[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(bound, 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Workload trace grammar: strict parsing, agg_bounded, per-op identity.
+
+class WorkloadParseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    IOLAP_ASSERT_OK_AND_ASSIGN(schema_, MakePaperExampleSchema());
+  }
+  StarSchema schema_;
+};
+
+TEST_F(WorkloadParseTest, ParsesEveryOpAndSkipsComments) {
+  TraceOp op;
+  IOLAP_ASSERT_OK_AND_ASSIGN(bool got,
+                             ParseTraceOp(schema_, "# comment", &op));
+  EXPECT_FALSE(got);
+  IOLAP_ASSERT_OK_AND_ASSIGN(got, ParseTraceOp(schema_, "   ", &op));
+  EXPECT_FALSE(got);
+
+  IOLAP_ASSERT_OK_AND_ASSIGN(
+      got, ParseTraceOp(schema_, "agg sum Location=MA # trailing", &op));
+  ASSERT_TRUE(got);
+  EXPECT_EQ(op.type, TraceOpType::kAgg);
+  EXPECT_EQ(op.func, AggregateFunc::kSum);
+
+  IOLAP_ASSERT_OK_AND_ASSIGN(
+      got, ParseTraceOp(schema_, "agg_bounded avg 0.5 0.01 Location=East",
+                        &op));
+  ASSERT_TRUE(got);
+  EXPECT_EQ(op.type, TraceOpType::kAggBounded);
+  EXPECT_EQ(op.func, AggregateFunc::kAverage);
+  EXPECT_DOUBLE_EQ(op.epsilon, 0.5);
+  EXPECT_DOUBLE_EQ(op.delta, 0.01);
+
+  IOLAP_ASSERT_OK_AND_ASSIGN(
+      got, ParseTraceOp(schema_, "rollup count Location 1", &op));
+  ASSERT_TRUE(got);
+  EXPECT_EQ(op.type, TraceOpType::kRollUp);
+  EXPECT_EQ(op.dim, 0);
+  EXPECT_EQ(op.level, 1);
+
+  IOLAP_ASSERT_OK_AND_ASSIGN(got, ParseTraceOp(schema_, "update 3 7.5", &op));
+  ASSERT_TRUE(got);
+  EXPECT_EQ(op.type, TraceOpType::kUpdate);
+  EXPECT_EQ(op.fact_id, 3);
+  EXPECT_DOUBLE_EQ(op.measure, 7.5);
+
+  IOLAP_ASSERT_OK_AND_ASSIGN(
+      got, ParseTraceOp(schema_, "insert 99 12 Location=MA", &op));
+  ASSERT_TRUE(got);
+  EXPECT_EQ(op.type, TraceOpType::kInsert);
+
+  IOLAP_ASSERT_OK_AND_ASSIGN(got, ParseTraceOp(schema_, "delete 99", &op));
+  ASSERT_TRUE(got);
+  IOLAP_ASSERT_OK_AND_ASSIGN(got, ParseTraceOp(schema_, "compact", &op));
+  ASSERT_TRUE(got);
+  EXPECT_EQ(op.type, TraceOpType::kCompact);
+}
+
+TEST_F(WorkloadParseTest, RejectsMalformedLines) {
+  TraceOp op;
+  // Unknown op, unknown func, bad dim, bad numbers, trailing junk — every
+  // one is an explicit error, never a silent skip.
+  EXPECT_EQ(ParseTraceOp(schema_, "frobnicate 1", &op).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseTraceOp(schema_, "agg median", &op).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseTraceOp(schema_, "agg sum Nowhere=MA", &op).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseTraceOp(schema_, "agg sum Location", &op).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseTraceOp(schema_, "agg_bounded sum x 0.05", &op)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseTraceOp(schema_, "agg_bounded sum 0.5 1.5", &op)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseTraceOp(schema_, "rollup sum Location 99", &op)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseTraceOp(schema_, "update 3", &op).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseTraceOp(schema_, "delete 3 extra", &op).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseTraceOp(schema_, "compact now", &op).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 }  // namespace

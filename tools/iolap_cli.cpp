@@ -39,17 +39,27 @@
 //       # columnar: scans read a compressed column-major mirror of the EDB
 //       # (projected columns only; mutations fall back to row until the
 //       # next compact). Answers are identical either way.
+//       [--synopsis=1]    # maintain the moment synopsis for bounded answers
+//       [--answer-mode=exact|bounded] [--delta=0.05]
+//       # bounded: `agg` lines accept a probabilistic answer from the
+//       # synopsis tier whenever its error bound fits --epsilon, which in
+//       # bounded mode is the answer budget (the EM convergence epsilon
+//       # then keeps its 0.005 default). `agg_bounded` lines carry their
+//       # own epsilon/delta and ignore the global answer flags.
 //       Builds the Extended Database behind the maintenance layer and
 //       replays a query/mutation trace through the serving subsystem
 //       (partitioned parallel scans + generation-versioned aggregate
-//       cache). Trace lines, one op each ('#' comments):
+//       cache). Trace grammar: serve/workload.h — one op per line,
+//       '#' comments, strict parsing (a malformed line aborts the replay):
 //         agg <sum|count|avg|min|max> [Dim=Node]...
+//         agg_bounded <func> <epsilon> <delta> [Dim=Node]...
 //         rollup <func> <Dim> <level> [Dim=Node]...
 //         completions <fact_id>
 //         update <fact_id> <measure>
 //         insert <fact_id> <measure> [Dim=Node]...
 //         delete <fact_id>
 //         compact
+//       The replay ends with per-op-type counts and tier statistics.
 //
 //   Every command also accepts [--metrics-out=m.json] [--trace-out=t.json]:
 //   --metrics-out dumps a flat JSON object of run counters/gauges,
@@ -73,6 +83,7 @@
 #include "io/csv.h"
 #include "obs/obs.h"
 #include "serve/query_service.h"
+#include "serve/workload.h"
 
 using namespace iolap;
 
@@ -280,156 +291,117 @@ int CmdQuery(const Flags& flags) {
   return 0;
 }
 
-AggregateFunc ParseFunc(const std::string& name) {
-  if (name == "count") return AggregateFunc::kCount;
-  if (name == "avg") return AggregateFunc::kAverage;
-  if (name == "min") return AggregateFunc::kMin;
-  if (name == "max") return AggregateFunc::kMax;
-  return AggregateFunc::kSum;
+const char* FuncName(AggregateFunc func) {
+  switch (func) {
+    case AggregateFunc::kSum: return "sum";
+    case AggregateFunc::kCount: return "count";
+    case AggregateFunc::kAverage: return "avg";
+    case AggregateFunc::kMin: return "min";
+    case AggregateFunc::kMax: return "max";
+  }
+  return "?";
 }
 
-/// Resolves one "Dimension=Node" workload token against the schema.
-Result<std::pair<int, NodeId>> ParseDimNode(const StarSchema& schema,
-                                            const std::string& token) {
-  size_t eq = token.find('=');
-  if (eq == std::string::npos) {
-    return Status::InvalidArgument("expected Dim=Node, got '" + token + "'");
-  }
-  std::string dim_name = token.substr(0, eq);
-  std::string node_name = token.substr(eq + 1);
-  for (int d = 0; d < schema.num_dims(); ++d) {
-    if (schema.dim(d).dimension_name() == dim_name) {
-      IOLAP_ASSIGN_OR_RETURN(NodeId node, schema.dim(d).FindNode(node_name));
-      return std::make_pair(d, node);
+/// Replays one parsed trace op against the service. `catalog` mirrors the
+/// current fact table so update/delete can supply the stored record the
+/// maintenance layer expects; `spec` is the global answer contract applied
+/// to plain `agg` lines (agg_bounded lines carry their own).
+Status ReplayOp(const StarSchema& schema, QueryService& service,
+                std::unordered_map<FactId, FactRecord>& catalog,
+                const AnswerSpec& spec, const TraceOp& op) {
+  switch (op.type) {
+    case TraceOpType::kAgg:
+    case TraceOpType::kAggBounded: {
+      const AnswerSpec op_spec =
+          op.type == TraceOpType::kAggBounded
+              ? AnswerSpec::Bounded(op.epsilon, op.delta)
+              : spec;
+      int64_t gen = 0;
+      AnswerStats as;
+      IOLAP_ASSIGN_OR_RETURN(
+          AggregateResult r,
+          service.Aggregate(op.region, op.func, op_spec, &as, &gen));
+      std::printf("%s %-5s -> %14.4f  (gen %" PRId64 ", tier %s, bound %g)\n",
+                  TraceOpName(op.type), FuncName(op.func), r.value, gen,
+                  AnswerTierName(as.tier), as.bound);
+      return Status::Ok();
+    }
+    case TraceOpType::kRollUp: {
+      int64_t gen = 0;
+      bool hit = false;
+      IOLAP_ASSIGN_OR_RETURN(
+          auto groups,
+          service.RollUp(op.region, op.dim, op.level, op.func, &gen, &hit));
+      std::printf("rollup %s by %s@%d -> %zu groups (gen %" PRId64 ", %s)\n",
+                  FuncName(op.func),
+                  schema.dim(op.dim).dimension_name().c_str(), op.level,
+                  groups.size(), gen, hit ? "hit" : "miss");
+      const auto& nodes = schema.dim(op.dim).nodes_at_level(op.level);
+      for (size_t i = 0; i < groups.size(); ++i) {
+        std::printf("  %-12s %14.4f\n",
+                    schema.dim(op.dim).name(nodes[i]).c_str(),
+                    groups[i].value);
+      }
+      return Status::Ok();
+    }
+    case TraceOpType::kCompletions: {
+      int64_t gen = 0;
+      IOLAP_ASSIGN_OR_RETURN(auto rows,
+                             service.CompletionsOf(op.fact_id, &gen));
+      std::printf("completions %" PRId64 " -> %zu cells (gen %" PRId64 ")\n",
+                  op.fact_id, rows.size(), gen);
+      for (const EdbRecord& rec : rows) {
+        std::printf("  weight %.4f measure %.2f\n", rec.weight, rec.measure);
+      }
+      return Status::Ok();
+    }
+    case TraceOpType::kUpdate: {
+      auto it = catalog.find(op.fact_id);
+      if (it == catalog.end()) {
+        return Status::InvalidArgument("update: unknown fact id");
+      }
+      IOLAP_RETURN_IF_ERROR(
+          service.ApplyUpdates({FactUpdate{it->second, op.measure}}));
+      it->second.measure = op.measure;
+      std::printf("update %" PRId64 " -> gen %" PRId64 "\n", op.fact_id,
+                  service.generation());
+      return Status::Ok();
+    }
+    case TraceOpType::kInsert: {
+      FactRecord f;
+      f.fact_id = op.fact_id;
+      f.measure = op.measure;
+      for (int d = 0; d < schema.num_dims(); ++d) {
+        f.node[d] = op.region.node[d];
+        f.level[d] = static_cast<uint8_t>(
+            f.node[d] == schema.dim(d).root()
+                ? schema.dim(d).num_levels()
+                : schema.dim(d).level(f.node[d]));
+      }
+      IOLAP_RETURN_IF_ERROR(service.InsertFacts({f}));
+      catalog[f.fact_id] = f;
+      std::printf("insert %" PRId64 " -> gen %" PRId64 "\n", f.fact_id,
+                  service.generation());
+      return Status::Ok();
+    }
+    case TraceOpType::kDelete: {
+      auto it = catalog.find(op.fact_id);
+      if (it == catalog.end()) {
+        return Status::InvalidArgument("delete: unknown fact id");
+      }
+      IOLAP_RETURN_IF_ERROR(service.DeleteFacts({it->second}));
+      catalog.erase(it);
+      std::printf("delete %" PRId64 " -> gen %" PRId64 "\n", op.fact_id,
+                  service.generation());
+      return Status::Ok();
+    }
+    case TraceOpType::kCompact: {
+      IOLAP_ASSIGN_OR_RETURN(int64_t removed, service.Compact());
+      std::printf("compact -> removed %" PRId64 " tombstones\n", removed);
+      return Status::Ok();
     }
   }
-  return Status::InvalidArgument("unknown dimension '" + dim_name + "'");
-}
-
-/// Replays one query/mutation trace line against the service. `catalog`
-/// mirrors the current fact table so update/delete can supply the stored
-/// record the maintenance layer expects.
-Status ReplayLine(const StarSchema& schema, QueryService& service,
-                  std::unordered_map<FactId, FactRecord>& catalog,
-                  const std::string& line) {
-  std::istringstream in(line.substr(0, line.find('#')));
-  std::string op;
-  if (!(in >> op)) return Status::Ok();
-  std::string token;
-
-  if (op == "agg") {
-    std::string func_name;
-    in >> func_name;
-    QueryRegion region = QueryRegion::All();
-    while (in >> token) {
-      IOLAP_ASSIGN_OR_RETURN(auto dn, ParseDimNode(schema, token));
-      region.With(dn.first, dn.second);
-    }
-    int64_t gen = 0;
-    bool hit = false;
-    IOLAP_ASSIGN_OR_RETURN(
-        AggregateResult r,
-        service.Aggregate(region, ParseFunc(func_name), &gen, &hit));
-    std::printf("agg %-5s -> %14.4f  (gen %" PRId64 ", %s)\n",
-                func_name.c_str(), r.value, gen, hit ? "hit" : "miss");
-    return Status::Ok();
-  }
-  if (op == "rollup") {
-    std::string func_name, dim_name;
-    int level = 0;
-    in >> func_name >> dim_name >> level;
-    int dim = -1;
-    for (int d = 0; d < schema.num_dims(); ++d) {
-      if (schema.dim(d).dimension_name() == dim_name) dim = d;
-    }
-    if (dim < 0) {
-      return Status::InvalidArgument("unknown dimension '" + dim_name + "'");
-    }
-    QueryRegion region = QueryRegion::All();
-    while (in >> token) {
-      IOLAP_ASSIGN_OR_RETURN(auto dn, ParseDimNode(schema, token));
-      region.With(dn.first, dn.second);
-    }
-    int64_t gen = 0;
-    bool hit = false;
-    IOLAP_ASSIGN_OR_RETURN(
-        auto groups,
-        service.RollUp(region, dim, level, ParseFunc(func_name), &gen, &hit));
-    std::printf("rollup %s by %s@%d -> %zu groups (gen %" PRId64 ", %s)\n",
-                func_name.c_str(), dim_name.c_str(), level, groups.size(),
-                gen, hit ? "hit" : "miss");
-    const auto& nodes = schema.dim(dim).nodes_at_level(level);
-    for (size_t i = 0; i < groups.size(); ++i) {
-      std::printf("  %-12s %14.4f\n", schema.dim(dim).name(nodes[i]).c_str(),
-                  groups[i].value);
-    }
-    return Status::Ok();
-  }
-  if (op == "completions") {
-    FactId id = -1;
-    in >> id;
-    int64_t gen = 0;
-    IOLAP_ASSIGN_OR_RETURN(auto rows, service.CompletionsOf(id, &gen));
-    std::printf("completions %" PRId64 " -> %zu cells (gen %" PRId64 ")\n",
-                id, rows.size(), gen);
-    for (const EdbRecord& rec : rows) {
-      std::printf("  weight %.4f measure %.2f\n", rec.weight, rec.measure);
-    }
-    return Status::Ok();
-  }
-  if (op == "update") {
-    FactId id = -1;
-    double measure = 0;
-    in >> id >> measure;
-    auto it = catalog.find(id);
-    if (it == catalog.end()) {
-      return Status::InvalidArgument("update: unknown fact id");
-    }
-    IOLAP_RETURN_IF_ERROR(
-        service.ApplyUpdates({FactUpdate{it->second, measure}}));
-    it->second.measure = measure;
-    std::printf("update %" PRId64 " -> gen %" PRId64 "\n", id,
-                service.generation());
-    return Status::Ok();
-  }
-  if (op == "insert") {
-    FactRecord f;
-    in >> f.fact_id >> f.measure;
-    for (int d = 0; d < schema.num_dims(); ++d) {
-      f.node[d] = schema.dim(d).root();
-      f.level[d] = static_cast<uint8_t>(schema.dim(d).num_levels());
-    }
-    while (in >> token) {
-      IOLAP_ASSIGN_OR_RETURN(auto dn, ParseDimNode(schema, token));
-      f.node[dn.first] = dn.second;
-      f.level[dn.first] =
-          static_cast<uint8_t>(schema.dim(dn.first).level(dn.second));
-    }
-    IOLAP_RETURN_IF_ERROR(service.InsertFacts({f}));
-    catalog[f.fact_id] = f;
-    std::printf("insert %" PRId64 " -> gen %" PRId64 "\n", f.fact_id,
-                service.generation());
-    return Status::Ok();
-  }
-  if (op == "delete") {
-    FactId id = -1;
-    in >> id;
-    auto it = catalog.find(id);
-    if (it == catalog.end()) {
-      return Status::InvalidArgument("delete: unknown fact id");
-    }
-    IOLAP_RETURN_IF_ERROR(service.DeleteFacts({it->second}));
-    catalog.erase(it);
-    std::printf("delete %" PRId64 " -> gen %" PRId64 "\n", id,
-                service.generation());
-    return Status::Ok();
-  }
-  if (op == "compact") {
-    IOLAP_ASSIGN_OR_RETURN(int64_t removed, service.Compact());
-    std::printf("compact -> removed %" PRId64 " tombstones\n", removed);
-    return Status::Ok();
-  }
-  return Status::InvalidArgument("unknown workload op '" + op + "'");
+  return Status::InvalidArgument("unhandled workload op");
 }
 
 int CmdServe(const Flags& flags) {
@@ -446,9 +418,24 @@ int CmdServe(const Flags& flags) {
       catalog[f.fact_id] = f;
     }
   }
+  // The answer contract for plain `agg` lines. In bounded mode --epsilon is
+  // the answer budget, so the EM epsilon keeps its default.
+  AnswerSpec spec = AnswerSpec::Exact();
+  const std::string answer_mode = flags.GetString("answer-mode", "exact");
+  if (answer_mode == "bounded") {
+    spec = AnswerSpec::Bounded(flags.GetDouble("epsilon", 0.0),
+                               flags.GetDouble("delta", 0.05));
+  } else if (answer_mode != "exact") {
+    std::fprintf(stderr,
+                 "unknown --answer-mode=%s (exact|bounded), keeping exact\n",
+                 answer_mode.c_str());
+  }
+
   AllocationOptions options;
   options.policy = ParsePolicy(flags.GetString("policy", "count"));
-  options.epsilon = flags.GetDouble("epsilon", 0.005);
+  if (answer_mode != "bounded") {
+    options.epsilon = flags.GetDouble("epsilon", 0.005);
+  }
   auto manager =
       Unwrap(MaintenanceManager::Build(env, schema, &facts, options));
 
@@ -457,6 +444,7 @@ int CmdServe(const Flags& flags) {
   sopts.min_partition_rows = flags.GetInt("min-partition-rows", 4096);
   sopts.cache_slots = flags.GetInt("cache-slots", 4096);
   sopts.agg_index = flags.GetInt("agg-index", 0) != 0;
+  sopts.synopsis = flags.GetInt("synopsis", 1) != 0;
   sopts.num_shards = static_cast<int>(flags.GetInt("shards", 1));
   const std::string edb_format = flags.GetString("edb-format", "row");
   if (edb_format == "columnar") {
@@ -480,13 +468,33 @@ int CmdServe(const Flags& flags) {
     std::fprintf(stderr, "cannot open workload '%s'\n", workload.c_str());
     return 2;
   }
+  int64_t op_counts[kNumTraceOpTypes] = {};
   std::string line;
+  int line_no = 0;
   while (std::getline(in, line)) {
-    DieOnError(ReplayLine(schema, service, catalog, line));
+    ++line_no;
+    TraceOp op;
+    Result<bool> parsed = ParseTraceOp(schema, line, &op);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s:%d: %s\n", workload.c_str(), line_no,
+                   parsed.status().message().c_str());
+      return 2;
+    }
+    if (!*parsed) continue;  // blank / comment line
+    ++op_counts[static_cast<int>(op.type)];
+    DieOnError(ReplayOp(schema, service, catalog, spec, op));
   }
   std::printf("served with %d shard(s), columnar mirror %s\n",
               service.num_shards(),
               service.columnar_active() ? "active" : "off");
+  std::printf("ops:");
+  for (int t = 0; t < kNumTraceOpTypes; ++t) {
+    if (op_counts[t] > 0) {
+      std::printf(" %s=%" PRId64, TraceOpName(static_cast<TraceOpType>(t)),
+                  op_counts[t]);
+    }
+  }
+  std::printf("\n");
   if (service.cache() != nullptr) {
     AggregateCache::Stats stats = service.cache()->stats();
     std::printf("served at generation %" PRId64
@@ -503,6 +511,14 @@ int CmdServe(const Flags& flags) {
                 " cells patched\n",
                 istats.probes, istats.cells, istats.pages, istats.height,
                 istats.builds, istats.refreshes, istats.cells_patched);
+  }
+  if (service.synopsis() != nullptr) {
+    SynopsisStore::Stats sstats = service.synopsis()->stats();
+    std::printf("synopsis: %" PRId64 " estimates (%" PRId64
+                " exact), %" PRId64 " builds, %" PRId64
+                " commits, %" PRId64 " entries patched\n",
+                sstats.estimates, sstats.exact_hits, sstats.builds,
+                sstats.commits, sstats.patched);
   }
   return 0;
 }
